@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+the series in ASCII, and persists it under ``benchmarks/results/`` so
+the artifact survives output capture.  Timing uses pytest-benchmark's
+pedantic mode with a single round: these are experiment regenerations,
+not micro-benchmarks (micro-benchmarks of the hot kernels live in
+``test_bench_micro.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a report block and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

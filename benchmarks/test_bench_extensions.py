@@ -1,0 +1,141 @@
+"""Benchmarks for the extension features beyond the paper's evaluation.
+
+The paper motivates round-based re-election with node *mobility* (§3.1)
+and cites *harvesting-aware* Q-routing (HyDRO) and the *two-level*
+TL-LEACH hierarchy as related work, but evaluates none of them.  These
+benches exercise each extension on the Table-2 scenario:
+
+* mobility sweep — QLEC's delivery rate vs node speed (re-election +
+  ACK-driven link estimates must absorb moderate motion);
+* harvesting — solar income extends effective lifetime;
+* TL-LEACH, heterogeneous DEEC, and QELAR — the related-work anchors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_series, render_table
+from repro.baselines import DEECProtocol, QELARProtocol, TLLEACHProtocol
+from repro.config import paper_config
+from repro.core import QLECProtocol
+from repro.energy.harvesting import HarvestingConfig
+from repro.network.mobility import MobilityConfig
+from repro.simulation.engine import run_simulation
+
+from conftest import publish
+
+SEEDS = (0, 1, 2)
+
+
+def test_mobility_sweep(benchmark):
+    speeds = (0.0, 5.0, 15.0, 30.0)
+
+    def sweep():
+        series = {"pdr": [], "energy": []}
+        for speed in speeds:
+            pdrs, energies = [], []
+            for seed in SEEDS:
+                config = paper_config(mean_interarrival=8.0, seed=seed)
+                if speed > 0:
+                    config = config.replace(
+                        mobility=MobilityConfig(model="random_waypoint", speed=speed)
+                    )
+                r = run_simulation(config, QLECProtocol())
+                pdrs.append(r.delivery_rate)
+                energies.append(r.total_energy)
+            series["pdr"].append(float(np.mean(pdrs)))
+            series["energy"].append(float(np.mean(energies)))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(
+        "ext_mobility",
+        render_series(
+            "speed [m/round]", list(speeds),
+            {"qlec pdr": series["pdr"], "qlec energy [J]": series["energy"]},
+            title="QLEC under random-waypoint mobility (Table-2 scenario)",
+        ),
+    )
+    # Static must be at least as good as fast motion, and moderate
+    # motion must not collapse the protocol.
+    assert series["pdr"][0] >= series["pdr"][-1] - 0.02
+    assert series["pdr"][1] > 0.8
+
+
+def test_harvesting_extends_lifetime(benchmark):
+    def run():
+        rows = []
+        for label, harvesting in (
+            ("no harvesting", None),
+            ("solar 2 mJ/round", HarvestingConfig(model="solar", mean_income=0.002)),
+            ("solar 10 mJ/round", HarvestingConfig(model="solar", mean_income=0.01)),
+        ):
+            alive, pdr = [], []
+            for seed in SEEDS:
+                config = paper_config(
+                    mean_interarrival=2.0, seed=seed, initial_energy=0.08,
+                    rounds=30,
+                )
+                if harvesting is not None:
+                    config = config.replace(harvesting=harvesting)
+                r = run_simulation(config, QLECProtocol())
+                alive.append(r.n_alive_final)
+                pdr.append(r.delivery_rate)
+            rows.append(
+                {
+                    "scenario": label,
+                    "alive after 30 rounds": float(np.mean(alive)),
+                    "pdr": float(np.mean(pdr)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ext_harvesting",
+        render_table(rows, title="Solar harvesting, congested 0.08 J scenario"),
+    )
+    assert rows[2]["alive after 30 rounds"] >= rows[0]["alive after 30 rounds"]
+
+
+def test_related_work_anchors(benchmark):
+    """TL-LEACH and heterogeneous-DEEC next to QLEC on one scenario."""
+    def run():
+        rows = []
+        hetero = paper_config(mean_interarrival=4.0, seed=0)
+        hetero = hetero.replace(
+            deployment=hetero.deployment.__class__(
+                n_nodes=100, side=200.0, initial_energy=0.25,
+                advanced_fraction=0.2, advanced_factor=1.0,
+            )
+        )
+        cases = [
+            ("qlec (homogeneous)", paper_config(mean_interarrival=4.0, seed=0),
+             QLECProtocol()),
+            ("qlec (heterogeneous m=0.2 a=1)", hetero, QLECProtocol()),
+            ("deec (heterogeneous m=0.2 a=1)", hetero, DEECProtocol()),
+            ("tl-leach", paper_config(mean_interarrival=4.0, seed=0),
+             TLLEACHProtocol()),
+            ("qelar (flat multi-hop)", paper_config(mean_interarrival=4.0, seed=0),
+             QELARProtocol()),
+        ]
+        for label, config, protocol in cases:
+            r = run_simulation(config, protocol)
+            rows.append(
+                {
+                    "scenario": label,
+                    "pdr": r.delivery_rate,
+                    "energy_J": r.total_energy,
+                    "lifespan": r.lifespan,
+                    "balance": r.energy_balance_index(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ext_related_work",
+        render_table(rows, title="Related-work anchors (lambda = 4)"),
+    )
+    assert len(rows) == 5

@@ -1,0 +1,21 @@
+"""Benchmark E-F1: regenerate Fig. 1 (the clustered network structure).
+
+An illustration in the paper, an executable artifact here: one
+improved-DEEC selection round on the Table-2 cube, rendered as a
+character raster with the cluster census.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig1
+
+from conftest import publish
+
+
+def test_fig1_network_structure(benchmark):
+    view = benchmark.pedantic(run_fig1, kwargs={"seed": 0}, rounds=1,
+                              iterations=1)
+    publish("fig1_structure", view.render())
+    assert view.heads.size == 5  # the paper's k_opt ~ 5 configuration
+    assert "S" in view.layout and "H" in view.layout
+    assert sum(view.members_per_head.values()) == 100 - view.heads.size

@@ -1,0 +1,117 @@
+"""Benchmark E-F3: regenerate all three panels of Fig. 3.
+
+QLEC vs FCM-based vs classic k-means over four congestion levels
+(Poisson mean inter-arrival lambda), five seeds per point, fanned out
+over the process pool.  Prints/persists one ASCII table per panel:
+
+* Fig. 3(a) packet delivery rate      — QLEC highest, FCM >10 % loss
+  when congested, k-means collapsing from dead static heads;
+* Fig. 3(b) total energy consumption  — QLEC below FCM (k-means' raw
+  total is deflated by its early deaths; the energy-per-delivered-
+  packet column shows QLEC cheapest per useful packet);
+* Fig. 3(c) network lifespan          — QLEC longest by a wide margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_series, render_table
+from repro.experiments import DEFAULT_LAMBDAS, Fig3Config, run_fig3
+
+from conftest import publish
+
+CFG = Fig3Config(
+    lambdas=DEFAULT_LAMBDAS,
+    seeds=(0, 1, 2, 3, 4),
+)
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3(CFG)
+
+
+def test_fig3_regeneration(benchmark):
+    """Timed end-to-end regeneration of the full Fig. 3 sweep."""
+    small = Fig3Config(lambdas=(4.0, 16.0), seeds=(0, 1))
+    result = benchmark.pedantic(run_fig3, args=(small,), rounds=1, iterations=1)
+    assert set(result.pdr) == {"qlec", "fcm", "kmeans"}
+
+
+def test_fig3a_packet_delivery_rate(benchmark, fig3_result):
+    lams = list(CFG.lambdas)
+    table = render_series(
+        "lambda", lams, fig3_result.pdr,
+        title="Fig. 3(a) — packet delivery rate (congested -> idle)",
+    )
+    publish("fig3a_packet_delivery_rate", table)
+    benchmark.pedantic(lambda: fig3_result.sweep.series("pdr", CFG.protocols, lams),
+                       rounds=1, iterations=1)
+    # Shape assertions (who wins).
+    for i, lam in enumerate(lams):
+        assert fig3_result.pdr["qlec"][i] >= fig3_result.pdr["fcm"][i] - 0.03
+    assert fig3_result.pdr["qlec"][0] > fig3_result.pdr["kmeans"][0]
+
+
+def test_fig3b_total_energy(benchmark, fig3_result):
+    lams = list(CFG.lambdas)
+    series = dict(fig3_result.energy)
+    # Derived column: energy per delivered packet (J), the fair metric
+    # when protocols deliver different packet counts.
+    epp = {}
+    for proto in CFG.protocols:
+        vals = []
+        for lam in lams:
+            rows = fig3_result.sweep.filtered(protocol=proto, **{"lambda": lam})
+            vals.append(
+                float(np.mean([r["energy_J"] / max(r["delivered"], 1) for r in rows]))
+            )
+        epp[f"{proto} J/pkt"] = [v * 1e3 for v in vals]  # mJ per packet
+    table = render_series(
+        "lambda", lams, series,
+        title="Fig. 3(b) — total energy consumption [J] over R rounds",
+    ) + "\n\n" + render_series(
+        "lambda", lams, epp,
+        title="Fig. 3(b') — energy per delivered packet [mJ]",
+    )
+    publish("fig3b_total_energy", table)
+    benchmark.pedantic(
+        lambda: fig3_result.sweep.series("energy_J", CFG.protocols, lams),
+        rounds=1, iterations=1,
+    )
+    for i in range(len(lams)):
+        assert fig3_result.energy["qlec"][i] < fig3_result.energy["fcm"][i] * 1.1
+
+
+def test_fig3c_lifespan(benchmark, fig3_result):
+    lams = list(CFG.lambdas)
+    table = render_series(
+        "lambda", lams, fig3_result.lifespan,
+        title="Fig. 3(c) — network lifespan [rounds to first death; "
+        f"{CFG.rounds} = outlived the run]",
+    )
+    publish("fig3c_lifespan", table)
+    benchmark.pedantic(
+        lambda: fig3_result.sweep.series("lifespan", CFG.protocols, lams),
+        rounds=1, iterations=1,
+    )
+    for i in range(len(lams)):
+        assert fig3_result.lifespan["qlec"][i] >= fig3_result.lifespan["kmeans"][i]
+
+
+def test_fig3_latency_extra(benchmark, fig3_result):
+    """The abstract's latency claim, not plotted in the paper."""
+    lams = list(CFG.lambdas)
+    table = render_series(
+        "lambda", lams, fig3_result.latency,
+        title="(extra) mean transmission latency [slots]",
+    )
+    publish("fig3_latency", table)
+    benchmark.pedantic(
+        lambda: fig3_result.sweep.series("latency_slots", CFG.protocols, lams),
+        rounds=1, iterations=1,
+    )
+    raw = render_table(fig3_result.sweep.rows)
+    publish("fig3_raw_cells", raw)

@@ -1,0 +1,56 @@
+"""Benchmark E-F4: the §5.3 large-scale dataset experiment (Fig. 4).
+
+Runs QLEC over the full 2896-node synthetic Global-Power-Plant network
+with k = 272 heads (the paper's Theorem-1 value), and quantifies the
+"energy consumption evenly dissipated" claim: per-quadrant consumption
+ratios, Jain's balance index, the consumption/BS-distance correlation,
+and the same balance index for the FCM and k-means baselines on the
+*identical* network.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_kv
+from repro.experiments import Fig4Config, run_fig4
+
+from conftest import publish
+
+FULL = Fig4Config(
+    n_nodes=2896,
+    n_clusters=272,
+    rounds=10,
+    mean_interarrival=16.0,
+    seed=0,
+    compare=("fcm", "kmeans"),
+)
+
+
+def test_fig4_large_scale_dataset(benchmark):
+    report = benchmark.pedantic(run_fig4, args=(FULL,), rounds=1, iterations=1)
+    publish("fig4_large_scale", report.render())
+
+    # Shape assertions: QLEC spreads consumption better than the
+    # geometric baseline on the identical network, and the spatial
+    # structure is weak (|corr| with BS distance bounded).
+    assert report.comparison["qlec"] > report.comparison["kmeans"]
+    assert abs(report.distance_correlation) < 0.6
+    assert report.result.packets.generated > 0
+
+
+def test_fig4_quickcheck_small(benchmark):
+    """A 300-node miniature, useful for fast regression tracking."""
+    small = Fig4Config(n_nodes=300, n_clusters=28, rounds=5, seed=1)
+    report = benchmark.pedantic(run_fig4, args=(small,), rounds=1, iterations=1)
+    publish(
+        "fig4_small",
+        render_kv(
+            {
+                "nodes": 300,
+                "balance index": report.balance_index,
+                "corr(ratio, d_bs)": report.distance_correlation,
+                "pdr": report.result.delivery_rate,
+            },
+            title="Fig. 4 miniature (300 nodes)",
+        ),
+    )
+    assert 0.0 < report.balance_index <= 1.0

@@ -1,0 +1,61 @@
+"""Benchmark: alive-node curves + FND/HND/LND milestones + convergence X.
+
+Deeper lifetime analysis behind Fig. 3(c): the full alive-count
+trajectory (the classic LEACH/DEEC figure), the three standard death
+milestones, and the Theorem-3 convergence-count study (expected vs
+sampled backups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    LifespanCurveConfig,
+    render_convergence_study,
+    run_convergence_study,
+    run_lifespan_curves,
+)
+
+from conftest import publish
+
+
+def test_lifespan_curves(benchmark):
+    cfg = LifespanCurveConfig(
+        protocols=("qlec", "fcm", "kmeans", "deec", "leach"),
+        seeds=(0, 1, 2),
+        rounds=60,
+        initial_energy=0.1,
+        mean_interarrival=4.0,
+    )
+    result = benchmark.pedantic(run_lifespan_curves, args=(cfg,), rounds=1,
+                                iterations=1)
+    publish("lifespan_curves", result.render())
+
+    # Shape: QLEC's first-node-death comes last (or ties) among the trio.
+    qlec_fnd = result.milestones["qlec"][0]
+    for rival in ("fcm", "kmeans", "leach"):
+        rival_fnd = result.milestones[rival][0]
+        if np.isfinite(rival_fnd) and np.isfinite(qlec_fnd):
+            assert qlec_fnd >= rival_fnd - 1.0
+    # And its curve dominates k-means' everywhere early on.
+    early = slice(0, 20)
+    assert np.all(
+        result.curves["qlec"][early] >= result.curves["kmeans"][early] - 1e-9
+    )
+
+
+def test_convergence_x_study(benchmark):
+    rows = benchmark.pedantic(
+        run_convergence_study,
+        kwargs={"n_values": (50, 100, 200, 400), "modes": ("expected", "sampled")},
+        rounds=1,
+        iterations=1,
+    )
+    publish("convergence_x", render_convergence_study(rows))
+    expected = [r for r in rows if r.mode == "expected"]
+    sampled = [r for r in rows if r.mode == "sampled"]
+    # Expected backups: X ~ O(N) (a couple of sweeps).  Sampled: the
+    # paper's X >> N regime.
+    assert all(r.x_over_n < 10 for r in expected)
+    assert all(r.x_over_n > 10 for r in sampled)

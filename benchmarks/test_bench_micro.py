@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the hot kernels.
+
+Profiling (per the optimisation workflow in the HPC guides: measure,
+then optimise) shows the simulator's time goes to (1) the per-packet Q
+backup, (2) pairwise-distance evaluations in clustering, and (3) the
+improved-DEEC election.  These benchmarks pin their costs so
+regressions show up in CI timing diffs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fcm import fuzzy_c_means
+from repro.baselines.kmeans import kmeans
+from repro.core import QLECProtocol
+from repro.core.selection import ImprovedDEECSelector
+from repro.energy.radio import FirstOrderRadio
+from repro.network.channel import delivery_probability
+from repro.network.topology import pairwise_distances
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).random((500, 3)) * 200.0
+
+
+def test_pairwise_distances_500x500(benchmark, points):
+    d = benchmark(pairwise_distances, points, points)
+    assert d.shape == (500, 500)
+
+
+def test_kmeans_500pts_k8(benchmark, points):
+    result = benchmark(kmeans, points, 8, 0)
+    assert result.centroids.shape == (8, 3)
+
+
+def test_fcm_500pts_k8(benchmark, points):
+    result = benchmark(fuzzy_c_means, points, 8, 2.0, 0)
+    assert result.membership.shape == (500, 8)
+
+
+def test_radio_amp_vectorized(benchmark):
+    radio = FirstOrderRadio()
+    distances = np.random.default_rng(1).random(10_000) * 300.0
+    out = benchmark(radio.amp, 4000, distances)
+    assert out.shape == (10_000,)
+
+
+def test_delivery_probability_vectorized(benchmark):
+    distances = np.random.default_rng(2).random(10_000) * 300.0
+    p = benchmark(delivery_probability, distances, 87.7)
+    assert p.shape == (10_000,)
+
+
+def test_deec_selection_round_n400(benchmark):
+    state = NetworkState(make_config(n_nodes=400, n_clusters=10, seed=0))
+    selector = ImprovedDEECSelector(10)
+    result = benchmark(selector.select, state)
+    assert result.k >= 1
+
+
+def test_q_backup_per_packet(benchmark):
+    """One Send-Data decision (Algorithm 4) — the innermost hot call."""
+    state = NetworkState(make_config(n_nodes=100, n_clusters=5, seed=0))
+    proto = QLECProtocol()
+    proto.prepare(state)
+    heads = proto.select_cluster_heads(state)
+    router = proto.router
+    choice = benchmark(router.choose, 0, heads)
+    assert choice in set(heads.tolist()) | {state.bs_index}

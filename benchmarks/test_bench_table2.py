@@ -1,0 +1,51 @@
+"""Benchmark E-T2: the Table-2 scenario itself.
+
+Echoes every simulation parameter of Table 2 as configured in
+``repro.config.paper_config`` (the single source of truth all other
+benchmarks build on) and times the full 20-round reference run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_kv
+from repro.config import paper_config
+from repro.core import QLECProtocol
+from repro.simulation.engine import run_simulation
+
+from conftest import publish
+
+
+def test_table2_parameters_and_reference_run(benchmark):
+    config = paper_config(seed=0)
+    result = benchmark.pedantic(
+        run_simulation, args=(config, QLECProtocol()), rounds=1, iterations=1
+    )
+    publish(
+        "table2_parameters",
+        render_kv(
+            {
+                "N (nodes)": config.deployment.n_nodes,
+                "space": f"{config.deployment.side:g}^3",
+                "rounds R": config.rounds,
+                "k (paper's k_opt)": config.n_clusters,
+                "discount rate gamma": config.qlearning.gamma,
+                "eps_fs [pJ/bit/m^2]": config.radio.eps_fs * 1e12,
+                "eps_mp [pJ/bit/m^4]": config.radio.eps_mp * 1e12,
+                "alpha1, beta1": config.qlearning.alpha1,
+                "alpha2, beta2": config.qlearning.alpha2,
+                "compression ratio": config.compression_ratio,
+                "initial energy [J] (calibrated)": config.deployment.initial_energy,
+                "-- reference run --": "",
+                "pdr": result.delivery_rate,
+                "total energy [J]": result.total_energy,
+                "lifespan [rounds]": result.lifespan,
+                "balance (Jain)": result.energy_balance_index(),
+            },
+            title="Table 2 — simulation parameters + QLEC reference run",
+        ),
+    )
+    assert config.qlearning.gamma == 0.95
+    assert config.radio.eps_fs * 1e12 == 10.0
+    assert config.radio.eps_mp * 1e12 == 0.0013
+    assert (config.qlearning.alpha1, config.qlearning.alpha2) == (0.05, 1.05)
+    assert config.compression_ratio == 0.5

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Large-scale power-grid monitoring overlay (the paper's §5.3, scaled).
+
+Generates the synthetic Global-Power-Plant-like dataset (China bounding
+box, clustered positions, heavy-tailed capacities mapped to
+heterogeneous batteries), runs QLEC with a Theorem-1 cluster count, and
+prints the energy-consumption-evenness report that is the quantitative
+content of the paper's Fig. 4.
+
+The full 2896-node run lives in ``benchmarks/test_bench_fig4.py``; this
+example uses 600 nodes so it finishes in seconds.
+
+Run:  python examples/power_grid_monitoring.py
+"""
+
+from repro.experiments import Fig4Config, run_fig4
+
+
+def main() -> None:
+    report = run_fig4(
+        Fig4Config(
+            n_nodes=600,
+            # Theorem 1 scales k with N; ~1/10 of the paper's 272 for
+            # ~1/5 of the nodes keeps cluster sizes comparable.
+            n_clusters=56,
+            rounds=8,
+            mean_interarrival=16.0,
+            seed=3,
+        )
+    )
+    print(report.render())
+    print()
+    print(
+        "A balance index near 1 and a weak correlation with BS distance\n"
+        "are the 'evenly distributed consumption' claim of Fig. 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

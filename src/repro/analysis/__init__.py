@@ -1,0 +1,37 @@
+"""Analysis: sweeps, statistics, and report tables."""
+
+from .ascii_plot import grid_to_text, heatmap_ascii, network_ascii, scatter_ascii
+from .compare import PairedComparison, paired_comparison, win_matrix
+from .io import load_sweep, rows_to_csv, save_sweep, sweep_to_csv
+from .report import ReportConfig, generate_report
+from .stats import MeanCI, censored_mean, jains_index, latency_percentiles, mean_ci
+from .sweep import PROTOCOLS, SweepResult, run_cell, sweep_protocols
+from .tables import render_kv, render_series, render_table
+
+__all__ = [
+    "MeanCI",
+    "PROTOCOLS",
+    "PairedComparison",
+    "ReportConfig",
+    "SweepResult",
+    "censored_mean",
+    "generate_report",
+    "grid_to_text",
+    "heatmap_ascii",
+    "jains_index",
+    "latency_percentiles",
+    "load_sweep",
+    "mean_ci",
+    "network_ascii",
+    "paired_comparison",
+    "render_kv",
+    "rows_to_csv",
+    "save_sweep",
+    "scatter_ascii",
+    "win_matrix",
+    "render_series",
+    "render_table",
+    "run_cell",
+    "sweep_protocols",
+    "sweep_to_csv",
+]

@@ -1,0 +1,117 @@
+"""Terminal-friendly spatial plots.
+
+The paper's Figures 1 and 4 are scatter plots (network layout; the
+consumption map over China).  For a dependency-free repository these
+are rendered as character rasters: a projection of node positions onto
+a character grid with per-class markers, and a shaded heatmap for
+scalar fields.  Used by the examples and the Fig.-4 harness; exact
+visuals are cosmetic, but the rasterisation itself is unit-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scatter_ascii", "heatmap_ascii", "network_ascii"]
+
+#: Shade ramp, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def _raster(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def scatter_ascii(
+    points: np.ndarray,
+    width: int = 60,
+    height: int = 24,
+    marker: str = ".",
+    extent: tuple[float, float, float, float] | None = None,
+    base: list[list[str]] | None = None,
+) -> list[list[str]]:
+    """Rasterise 2-D ``points`` onto a character grid.
+
+    Later calls can pass the previous grid as ``base`` to overlay
+    several classes (members, heads, BS) with different markers.
+    Returns the mutable grid; render with :func:`grid_to_text`.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] < 2:
+        raise ValueError("points must have shape (n, >=2)")
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    if len(marker) != 1:
+        raise ValueError("marker must be a single character")
+    grid = base if base is not None else _raster(width, height)
+    if points.shape[0] == 0:
+        return grid
+    if extent is None:
+        x0, x1 = float(points[:, 0].min()), float(points[:, 0].max())
+        y0, y1 = float(points[:, 1].min()), float(points[:, 1].max())
+    else:
+        x0, x1, y0, y1 = extent
+    dx = (x1 - x0) or 1.0
+    dy = (y1 - y0) or 1.0
+    cols = np.clip(((points[:, 0] - x0) / dx * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((points[:, 1] - y0) / dy * (height - 1)).astype(int), 0, height - 1)
+    for r, c in zip(rows, cols):
+        grid[height - 1 - r][c] = marker  # y grows upward
+    return grid
+
+
+def grid_to_text(grid: list[list[str]]) -> str:
+    return "\n".join("".join(row) for row in grid)
+
+
+def heatmap_ascii(values: np.ndarray, ramp: str = _RAMP) -> str:
+    """Render a 2-D scalar field as shaded characters (row 0 on top).
+
+    NaN cells render as '?'.  Values are min-max normalised.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError("values must be 2-D")
+    if len(ramp) < 2:
+        raise ValueError("ramp needs at least two shades")
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return "\n".join("?" * values.shape[1] for _ in range(values.shape[0]))
+    lo, hi = float(finite.min()), float(finite.max())
+    span = (hi - lo) or 1.0
+    out_rows = []
+    for row in values:
+        chars = []
+        for v in row:
+            if not np.isfinite(v):
+                chars.append("?")
+            else:
+                idx = int((v - lo) / span * (len(ramp) - 1))
+                chars.append(ramp[idx])
+        out_rows.append("".join(chars))
+    return "\n".join(out_rows)
+
+
+def network_ascii(
+    positions: np.ndarray,
+    heads: np.ndarray | None = None,
+    bs_position=None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """The Figure-1 view: members '.', cluster heads 'H', sink 'S'
+    (x-y projection of the 3-D layout)."""
+    positions = np.asarray(positions, dtype=np.float64)
+    x0, x1 = float(positions[:, 0].min()), float(positions[:, 0].max())
+    y0, y1 = float(positions[:, 1].min()), float(positions[:, 1].max())
+    extent = (x0, x1, y0, y1)
+    grid = scatter_ascii(positions, width, height, ".", extent)
+    if heads is not None and np.asarray(heads).size:
+        grid = scatter_ascii(
+            positions[np.asarray(heads)], width, height, "H", extent, base=grid
+        )
+    if bs_position is not None:
+        grid = scatter_ascii(
+            np.asarray([bs_position]), width, height, "S", extent, base=grid
+        )
+    return grid_to_text(grid)

@@ -1,0 +1,62 @@
+"""Persistence for experiment outputs.
+
+Sweeps are expensive; these helpers round-trip their row tables through
+JSON (for resuming analysis without re-simulation) and export CSV for
+external plotting tools.  Only plain summaries are persisted — full
+`SimulationResult` objects carry numpy arrays and per-packet latency
+lists that don't belong in a results file.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from .sweep import SweepResult
+
+__all__ = ["save_sweep", "load_sweep", "sweep_to_csv", "rows_to_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def save_sweep(sweep: SweepResult, path) -> None:
+    """Write a sweep's rows as versioned JSON."""
+    payload = {"format": _FORMAT_VERSION, "rows": sweep.rows}
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_sweep(path) -> SweepResult:
+    """Load a sweep saved by :func:`save_sweep`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ValueError(f"{path}: not a sweep file")
+    version = payload.get("format")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported sweep format {version!r} "
+            f"(this build reads {_FORMAT_VERSION})"
+        )
+    return SweepResult(rows=list(payload["rows"]))
+
+
+def rows_to_csv(rows: list[dict]) -> str:
+    """Render dict rows as CSV text (union of keys, stable order)."""
+    if not rows:
+        return ""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def sweep_to_csv(sweep: SweepResult, path) -> None:
+    """Export a sweep's rows to a CSV file."""
+    Path(path).write_text(rows_to_csv(sweep.rows), encoding="utf-8")

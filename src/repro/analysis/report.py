@@ -1,0 +1,98 @@
+"""One-shot report generation: run every experiment, emit REPORT.md.
+
+``python -m repro report`` (or :func:`generate_report`) executes the
+full per-artifact driver set — Fig. 3, Fig. 4, Theorem 1, complexity,
+ablation — and assembles a single markdown report with every regenerated
+table, suitable for committing next to EXPERIMENTS.md after a run.
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import platform
+from dataclasses import dataclass
+
+__all__ = ["ReportConfig", "generate_report"]
+
+
+@dataclass(frozen=True)
+class ReportConfig:
+    """Effort knobs for the full report run."""
+
+    seeds: tuple[int, ...] = (0, 1, 2)
+    lambdas: tuple[float, ...] = (2.0, 4.0, 8.0, 16.0)
+    fig4_nodes: int = 1000
+    fig4_clusters: int = 94
+    serial: bool = False
+    #: Skip the slower drivers (fig4, ablation) for a quick look.
+    quick: bool = False
+
+
+def _block(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def generate_report(config: ReportConfig | None = None) -> str:
+    """Run all experiment drivers and return the markdown report."""
+    # Imports are local so `repro.analysis` stays importable without
+    # dragging every experiment module in.
+    from ..experiments import (
+        Fig3Config,
+        Fig4Config,
+        measure_qlearning_updates,
+        measure_selection_scaling,
+        render_ablation,
+        render_complexity_report,
+        run_ablation,
+        run_fig3,
+        run_fig4,
+        run_kopt_validation,
+    )
+
+    cfg = config if config is not None else ReportConfig()
+    out = io.StringIO()
+    out.write("# QLEC reproduction report\n\n")
+    out.write(
+        f"Generated {datetime.datetime.now():%Y-%m-%d %H:%M} on "
+        f"Python {platform.python_version()} / {platform.machine()}.\n\n"
+        f"Seeds {list(cfg.seeds)}, lambda sweep {list(cfg.lambdas)}.\n\n"
+    )
+
+    fig3 = run_fig3(
+        Fig3Config(lambdas=cfg.lambdas, seeds=cfg.seeds, serial=cfg.serial)
+    )
+    out.write(_block("Fig. 3 — delivery rate / energy / lifespan", fig3.render()))
+
+    out.write(
+        _block(
+            "Theorem 1 — optimal cluster count",
+            run_kopt_validation(mc_samples=100_000).render(),
+        )
+    )
+
+    out.write(
+        _block(
+            "Complexity (Lemmas 2-3)",
+            render_complexity_report(
+                measure_selection_scaling(n_values=(50, 100, 200, 400)),
+                measure_qlearning_updates(),
+            ),
+        )
+    )
+
+    if not cfg.quick:
+        fig4 = run_fig4(
+            Fig4Config(
+                n_nodes=cfg.fig4_nodes,
+                n_clusters=cfg.fig4_clusters,
+                rounds=8,
+                compare=("fcm", "kmeans"),
+            )
+        )
+        out.write(_block("Fig. 4 — large-scale consumption evenness", fig4.render()))
+
+        ablation = run_ablation(seeds=cfg.seeds[:2])
+        out.write(_block("Ablation", render_ablation(ablation)))
+
+    return out.getvalue()

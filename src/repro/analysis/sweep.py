@@ -1,0 +1,138 @@
+"""Generic protocol-comparison sweeps (the machinery behind Fig. 3).
+
+A sweep cell is (protocol, lambda, seed); cells are independent and fan
+out over the process pool.  The protocol registry maps names to fresh
+protocol instances so cells stay picklable (a worker builds its own
+protocol object; nothing stateful crosses the process boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines import (
+    DEECProtocol,
+    DirectProtocol,
+    FCMProtocol,
+    HEEDProtocol,
+    KMeansProtocol,
+    LEACHProtocol,
+    QELARProtocol,
+    TLLEACHProtocol,
+)
+from ..baselines.base import ClusteringProtocol
+from ..config import paper_config
+from ..core import QLECProtocol
+from ..parallel import run_tasks
+from ..simulation import run_simulation
+from .stats import mean_ci
+
+__all__ = ["PROTOCOLS", "SweepResult", "run_cell", "sweep_protocols"]
+
+#: Registry: protocol name -> zero-argument factory.
+PROTOCOLS: dict[str, Callable[[], ClusteringProtocol]] = {
+    "qlec": QLECProtocol,
+    "fcm": FCMProtocol,
+    "kmeans": KMeansProtocol,
+    "kmeans-adaptive": lambda: KMeansProtocol(recluster_every=1),
+    "leach": LEACHProtocol,
+    "tl-leach": TLLEACHProtocol,
+    "qelar": QELARProtocol,
+    "heed": HEEDProtocol,
+    "deec": DEECProtocol,
+    "direct": DirectProtocol,
+}
+
+
+def run_cell(
+    protocol: str,
+    mean_interarrival: float,
+    seed: int,
+    initial_energy: float = 0.25,
+    rounds: int = 20,
+    stop_on_death: bool = False,
+) -> dict:
+    """One sweep cell: build the Table-2 scenario and run one protocol.
+
+    Module-level so it is picklable for the process pool.  Returns the
+    flat result summary plus the consumption-balance index.
+    """
+    if protocol not in PROTOCOLS:
+        raise KeyError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
+    config = paper_config(
+        mean_interarrival=mean_interarrival,
+        seed=seed,
+        rounds=rounds,
+        initial_energy=initial_energy,
+    )
+    result = run_simulation(config, PROTOCOLS[protocol](), stop_on_death=stop_on_death)
+    summary = result.summary()
+    summary["protocol"] = protocol  # registry name, not class default
+    return summary
+
+
+@dataclass
+class SweepResult:
+    """All cell summaries of one sweep plus aggregation helpers."""
+
+    rows: list[dict] = field(default_factory=list)
+
+    def filtered(self, **match) -> list[dict]:
+        out = self.rows
+        for key, value in match.items():
+            out = [r for r in out if r.get(key) == value]
+        return out
+
+    def aggregate(
+        self, metric: str, protocol: str, mean_interarrival: float
+    ) -> float:
+        """Mean of ``metric`` over seeds for one (protocol, lambda)."""
+        rows = self.filtered(protocol=protocol, **{"lambda": mean_interarrival})
+        if not rows:
+            raise KeyError(
+                f"no rows for protocol={protocol!r}, lambda={mean_interarrival}"
+            )
+        return float(np.mean([r[metric] for r in rows]))
+
+    def aggregate_ci(self, metric: str, protocol: str, mean_interarrival: float):
+        rows = self.filtered(protocol=protocol, **{"lambda": mean_interarrival})
+        return mean_ci([r[metric] for r in rows])
+
+    def series(
+        self, metric: str, protocols: Sequence[str], lambdas: Sequence[float]
+    ) -> dict[str, list[float]]:
+        """Figure-shaped output: one metric series per protocol."""
+        return {
+            p: [self.aggregate(metric, p, lam) for lam in lambdas]
+            for p in protocols
+        }
+
+
+def sweep_protocols(
+    protocols: Sequence[str],
+    lambdas: Sequence[float],
+    seeds: Sequence[int],
+    initial_energy: float = 0.25,
+    rounds: int = 20,
+    stop_on_death: bool = False,
+    max_workers: int | None = None,
+    serial: bool = False,
+) -> SweepResult:
+    """Run the full (protocol x lambda x seed) grid in parallel.
+
+    This is the engine behind every Fig.-3 regeneration: identical
+    scenarios per seed across protocols (the deployment/traffic streams
+    depend only on the seed), cells scheduled over the process pool,
+    results in deterministic order.
+    """
+    cells = [
+        (p, lam, seed, initial_energy, rounds, stop_on_death)
+        for p in protocols
+        for lam in lambdas
+        for seed in seeds
+    ]
+    rows = run_tasks(run_cell, cells, max_workers=max_workers, serial=serial)
+    return SweepResult(rows=list(rows))

@@ -1,0 +1,90 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness regenerates every figure of the paper as an
+ASCII table (series per protocol, one row per network condition), so
+results are diffable and readable in CI logs without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of mappings; missing keys render as "-".
+    columns:
+        Column order; defaults to the keys of the first row.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        [_fmt(row.get(c, "-"), precision) for c in cols] for row in rows
+    ]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, sep, body])
+    return "\n".join(parts)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render a figure-like dataset: one x column, one column per series.
+
+    This is the shape of each panel of the paper's Fig. 3: x = network
+    condition (lambda), one line per protocol.
+    """
+    lengths = {len(v) for v in series.values()}
+    if lengths and lengths != {len(x_values)}:
+        raise ValueError("every series must match the length of x_values")
+    rows = []
+    for i, x in enumerate(x_values):
+        row = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i]
+        rows.append(row)
+    return render_table(rows, precision=precision, title=title)
+
+
+def render_kv(pairs: Mapping[str, Any], precision: int = 4, title: str | None = None) -> str:
+    """Render a key/value block (experiment headers, config echoes)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [f"{k.ljust(width)} : {_fmt(v, precision)}" for k, v in pairs.items()]
+    if title:
+        lines.insert(0, title)
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Baseline clustering protocols and the shared strategy interface."""
+
+from .base import ClusteringProtocol
+from .deec import DEECProtocol
+from .direct import DirectProtocol
+from .fcm import FCMProtocol, FCMResult, fuzzy_c_means
+from .heed import HEEDProtocol
+from .kmeans import KMeansProtocol, KMeansResult, kmeans, kmeans_plus_plus_init
+from .leach import LEACHProtocol
+from .qelar import QELARProtocol
+from .tl_leach import TLLEACHProtocol
+
+__all__ = [
+    "ClusteringProtocol",
+    "DEECProtocol",
+    "DirectProtocol",
+    "FCMProtocol",
+    "FCMResult",
+    "HEEDProtocol",
+    "KMeansProtocol",
+    "KMeansResult",
+    "LEACHProtocol",
+    "QELARProtocol",
+    "TLLEACHProtocol",
+    "fuzzy_c_means",
+    "kmeans",
+    "kmeans_plus_plus_init",
+]

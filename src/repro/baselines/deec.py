@@ -1,0 +1,66 @@
+"""Classic DEEC baseline (Qing, Zhu & Wang, 2006) — paper §3.1 before
+the improvements.
+
+DEEC weights the LEACH rotation by residual energy: ``p_i = p_opt *
+E_i(r) / E_bar(r)`` (Eq. 1) with the network average estimated by the
+linear-decay model of Eq. (2).  It has *neither* of QLEC's additions —
+no minimum-energy threshold (Eq. 4) and no HELLO-based redundancy
+reduction — and members simply join the nearest head.
+
+Implemented by instantiating the shared
+:class:`~repro.core.selection.ImprovedDEECSelector` with both
+improvements switched off, which keeps the election math in exactly one
+place and makes the QLEC-vs-DEEC ablation a pure feature-flag diff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.selection import ImprovedDEECSelector, SelectionConfig
+from ..simulation.state import NetworkState
+from .base import ClusteringProtocol
+
+__all__ = ["DEECProtocol"]
+
+
+class DEECProtocol(ClusteringProtocol):
+    """Classic DEEC: energy-weighted rotation, nearest-head joining."""
+
+    name = "deec"
+
+    def __init__(self, n_clusters: int | None = None) -> None:
+        self._n_clusters = n_clusters
+        self.selector: ImprovedDEECSelector | None = None
+        self.k: int | None = None
+
+    def prepare(self, state: NetworkState) -> None:
+        self.k = (
+            self._n_clusters
+            if self._n_clusters is not None
+            else (state.config.n_clusters or max(1, round(0.05 * state.n)))
+        )
+        self.selector = ImprovedDEECSelector(
+            self.k,
+            SelectionConfig(
+                use_energy_threshold=False,
+                use_redundancy_reduction=False,
+                use_rotation=True,
+                fallback_promotion=True,
+                energy_estimate="linear",  # Eq. (2), the 2006 original
+            ),
+        )
+
+    def select_cluster_heads(self, state: NetworkState) -> np.ndarray:
+        assert self.selector is not None, "prepare() must run first"
+        return self.selector.select(state).heads
+
+    def choose_relay(
+        self,
+        state: NetworkState,
+        node: int,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> int:
+        d = state.distances_from(node, heads)
+        return int(heads[d.argmin()])

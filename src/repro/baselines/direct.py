@@ -1,0 +1,35 @@
+"""Direct-transmission baseline: no clustering at all.
+
+Every node uplinks straight to the base station.  This is the
+energy-wasting strawman clustering exists to beat — long multi-path
+links at d^4 cost — and serves as a lower-bound sanity anchor in the
+ablation benches (any clustering protocol must beat it on energy in a
+cube larger than the radio's crossover distance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulation.state import NetworkState
+from .base import ClusteringProtocol
+
+__all__ = ["DirectProtocol"]
+
+
+class DirectProtocol(ClusteringProtocol):
+    """No heads; the engine falls back to direct BS uplinks."""
+
+    name = "direct"
+
+    def select_cluster_heads(self, state: NetworkState) -> np.ndarray:
+        return np.empty(0, dtype=np.intp)
+
+    def choose_relay(
+        self,
+        state: NetworkState,
+        node: int,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> int:
+        return state.bs_index

@@ -1,0 +1,156 @@
+"""HEED baseline (Younis & Fahmy 2004) — paper §2, ref. [17].
+
+"HEED: a hybrid, energy-efficient, distributed clustering approach":
+cluster heads are elected by an iterative probabilistic process whose
+*primary* parameter is residual energy and whose *secondary* parameter
+is intra-cluster communication cost.
+
+Faithful-in-structure implementation:
+
+* each node starts with ``CH_prob = C_prob * E_residual / E_max``
+  (clamped to ``p_min``);
+* iterations: a node not yet covered by a tentative head announces
+  itself tentative with probability ``CH_prob``; nodes covered by a
+  tentative head within cluster range join the cheapest one instead of
+  competing; every iteration doubles ``CH_prob`` until it reaches 1
+  (the node then finalises — either as a head or as a member);
+* secondary cost = AMRP (average minimum reachability power): the mean
+  radio amplifier cost for that head's in-range neighbours to reach it,
+  so among competing tentative heads, members prefer the one cheapest
+  for the neighbourhood.
+
+Differences from the original (documented): iterations are simulated
+synchronously from global state (the original is message-passing), and
+the cluster range reuses the Eq.-(5) coverage radius so all protocols
+share one geometry scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.theory import cluster_radius
+from ..simulation.state import NetworkState
+from .base import ClusteringProtocol
+
+__all__ = ["HEEDProtocol"]
+
+
+class HEEDProtocol(ClusteringProtocol):
+    """Hybrid energy + cost iterative election."""
+
+    name = "heed"
+
+    def __init__(
+        self,
+        n_clusters: int | None = None,
+        c_prob: float = 0.1,
+        p_min: float = 1e-3,
+        max_iterations: int = 20,
+    ) -> None:
+        if not 0.0 < c_prob <= 1.0:
+            raise ValueError("c_prob must lie in (0, 1]")
+        if not 0.0 < p_min <= 1.0:
+            raise ValueError("p_min must lie in (0, 1]")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self._n_clusters = n_clusters
+        self.c_prob = c_prob
+        self.p_min = p_min
+        self.max_iterations = max_iterations
+        self.k: int | None = None
+        self._range: float = 0.0
+
+    def prepare(self, state: NetworkState) -> None:
+        self.k = (
+            self._n_clusters
+            if self._n_clusters is not None
+            else (state.config.n_clusters or max(1, round(0.05 * state.n)))
+        )
+        self._range = cluster_radius(self.k, state.config.deployment.side)
+
+    # ------------------------------------------------------------------
+    def _amrp(self, state: NetworkState) -> np.ndarray:
+        """Average minimum reachability power per candidate head: the
+        mean amplifier cost of its in-range neighbours reaching it."""
+        full = state.topology.full_matrix()
+        bits = state.config.traffic.packet_bits
+        amrp = np.full(state.n, np.inf)
+        for i in range(state.n):
+            neigh = (full[i] <= self._range) & (np.arange(state.n) != i)
+            neigh &= state.ledger.alive
+            if neigh.any():
+                amrp[i] = float(
+                    np.mean(state.radio.amp(bits, full[i, neigh]))
+                )
+            else:
+                amrp[i] = float(state.radio.amp(bits, self._range))
+        return amrp
+
+    def select_cluster_heads(self, state: NetworkState) -> np.ndarray:
+        assert self.k is not None, "prepare() must run first"
+        alive = state.ledger.alive
+        if not alive.any():
+            return np.empty(0, dtype=np.intp)
+        e_max = float(state.ledger.initial.max())
+        ch_prob = np.clip(
+            self.c_prob * state.ledger.residual / e_max, self.p_min, 1.0
+        )
+        amrp = self._amrp(state)
+        full = state.topology.full_matrix()
+
+        tentative = np.zeros(state.n, dtype=bool)
+        final = np.zeros(state.n, dtype=bool)
+        done = ~alive  # dead nodes never participate
+        rng = state.protocol_rng
+        for _ in range(self.max_iterations):
+            if done.all():
+                break
+            # Covered = a tentative/final head within cluster range (or
+            # being one yourself).
+            heads_now = tentative | final
+            if heads_now.any():
+                covered = (full[:, heads_now] <= self._range).any(axis=1)
+                covered |= heads_now
+            else:
+                covered = np.zeros(state.n, dtype=bool)
+            undecided = ~done
+            at_limit = undecided & (ch_prob >= 1.0)
+            # Nodes at probability 1: finalise.  Uncovered ones must
+            # head their own cluster; covered ones join and exit.
+            become_final_head = at_limit & ~covered
+            final |= become_final_head
+            tentative &= ~become_final_head
+            done |= at_limit
+            # Remaining undecided: tentative self-announcement.
+            remaining = undecided & ~at_limit
+            draws = rng.random(state.n) < ch_prob
+            tentative |= remaining & draws & ~covered
+            ch_prob = np.minimum(ch_prob * 2.0, 1.0)
+        # Anyone still tentative at the end stands as a head.
+        heads = np.flatnonzero((tentative | final) & alive)
+        if heads.size == 0:
+            # Degenerate fallback: the highest-energy alive node.
+            alive_idx = np.flatnonzero(alive)
+            heads = np.asarray(
+                [alive_idx[np.argmax(state.ledger.residual[alive_idx])]],
+                dtype=np.intp,
+            )
+        # HEED prunes overlapping heads by cost: within range, the
+        # lower-AMRP head absorbs the other.
+        keep: list[int] = []
+        for h in heads[np.argsort(amrp[heads], kind="stable")]:
+            if not keep or np.all(full[keep, h] > self._range):
+                keep.append(int(h))
+        return np.asarray(keep, dtype=np.intp)
+
+    def choose_relay(
+        self,
+        state: NetworkState,
+        node: int,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> int:
+        # Members join the minimum-cost (nearest) head, per HEED.
+        d = state.distances_from(node, heads)
+        return int(heads[d.argmin()])

@@ -1,0 +1,78 @@
+"""LEACH baseline (Heinzelman et al., 2000) — paper §2's classic.
+
+"LEACH is a self-organizing, adaptive clustering protocol that uses
+randomization-based probability to distribute the energy load equally"
+— but, as the paper notes, it "does not take residual energy of sensors
+into consideration and may lead to unevenly distributed cluster heads".
+
+Election rule: node n elects itself head in round r with threshold
+
+    T(n) = p / (1 - p * (r mod 1/p))    if n in G,   else 0
+
+where ``p = k/N`` and G is the set of nodes that have not served as
+head in the last ``1/p`` rounds.  Members join the nearest head.
+LEACH is not part of the paper's Fig. 3 trio; it anchors the ablation
+study (QLEC minus every improvement minus energy awareness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulation.state import NetworkState
+from .base import ClusteringProtocol
+
+__all__ = ["LEACHProtocol"]
+
+
+class LEACHProtocol(ClusteringProtocol):
+    """Classic LEACH: uniform rotation probability, no energy term."""
+
+    name = "leach"
+
+    def __init__(self, n_clusters: int | None = None) -> None:
+        self._n_clusters = n_clusters
+        self.k: int | None = None
+        self.p: float | None = None
+
+    def prepare(self, state: NetworkState) -> None:
+        self.k = (
+            self._n_clusters
+            if self._n_clusters is not None
+            else (state.config.n_clusters or max(1, round(0.05 * state.n)))
+        )
+        self.p = min(self.k / state.n, 0.999)
+
+    def select_cluster_heads(self, state: NetworkState) -> np.ndarray:
+        assert self.p is not None, "prepare() must run first"
+        p = self.p
+        epoch = 1.0 / p
+        r = state.round_index
+        eligible = state.ledger.alive & (
+            (r - state.last_ch_round) >= epoch
+        )
+        phase = r % int(np.ceil(epoch))
+        denom = 1.0 - p * phase
+        threshold = p / denom if denom > 1e-12 else 1.0
+        threshold = min(threshold, 1.0)
+        z = state.protocol_rng.random(state.n)
+        heads = np.flatnonzero(eligible & (z < threshold))
+        if heads.size == 0:
+            # Start-of-epoch pathologies: promote one random alive node
+            # so the network is never headless (a standard LEACH fix).
+            alive = state.alive_indices()
+            if alive.size:
+                heads = np.asarray(
+                    [int(state.protocol_rng.choice(alive))], dtype=np.intp
+                )
+        return heads
+
+    def choose_relay(
+        self,
+        state: NetworkState,
+        node: int,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> int:
+        d = state.distances_from(node, heads)
+        return int(heads[d.argmin()])

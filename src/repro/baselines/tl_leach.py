@@ -1,0 +1,114 @@
+"""TL-LEACH baseline (Loscri et al., 2006) — paper §2's two-level LEACH.
+
+"A two-levels hierarchy for low-energy adaptive clustering hierarchy":
+a *primary* head layer talks to the BS; *secondary* heads aggregate
+their local cluster and relay through the nearest primary.  Halving the
+long-haul link count trades member-side hops for uplink energy — the
+same trade the FCM hierarchy makes, but with LEACH's energy-blind
+random rotation at both levels.
+
+Included for the related-work ablation (not part of the paper's Fig. 3
+trio).  Election at each level reuses the LEACH threshold with separate
+probabilities p_primary < p_secondary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulation.state import NetworkState
+from .base import ClusteringProtocol
+
+__all__ = ["TLLEACHProtocol"]
+
+
+class TLLEACHProtocol(ClusteringProtocol):
+    """Two-level LEACH: secondary heads relay through primary heads."""
+
+    name = "tl-leach"
+
+    def __init__(
+        self,
+        n_clusters: int | None = None,
+        primary_fraction: float = 0.4,
+    ) -> None:
+        """``n_clusters`` counts *all* heads; ``primary_fraction`` of
+        them form the BS-facing layer."""
+        if not 0.0 < primary_fraction < 1.0:
+            raise ValueError("primary_fraction must lie in (0, 1)")
+        self._n_clusters = n_clusters
+        self.primary_fraction = primary_fraction
+        self.k: int | None = None
+        self._primaries: np.ndarray = np.empty(0, dtype=np.intp)
+
+    def prepare(self, state: NetworkState) -> None:
+        self.k = (
+            self._n_clusters
+            if self._n_clusters is not None
+            else (state.config.n_clusters or max(1, round(0.05 * state.n)))
+        )
+        self._primaries = np.empty(0, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    def _elect(self, state: NetworkState, p: float, pool: np.ndarray) -> np.ndarray:
+        """LEACH threshold election restricted to ``pool``."""
+        if pool.size == 0:
+            return np.empty(0, dtype=np.intp)
+        epoch = 1.0 / p
+        r = state.round_index
+        eligible = pool[
+            state.ledger.alive[pool]
+            & ((r - state.last_ch_round[pool]) >= epoch)
+        ]
+        phase = r % int(np.ceil(epoch))
+        denom = 1.0 - p * phase
+        threshold = min(p / denom if denom > 1e-12 else 1.0, 1.0)
+        z = state.protocol_rng.random(eligible.size)
+        heads = eligible[z < threshold]
+        if heads.size == 0 and eligible.size:
+            heads = np.asarray(
+                [int(state.protocol_rng.choice(eligible))], dtype=np.intp
+            )
+        elif heads.size == 0:
+            alive = pool[state.ledger.alive[pool]]
+            if alive.size:
+                heads = np.asarray(
+                    [int(state.protocol_rng.choice(alive))], dtype=np.intp
+                )
+        return heads
+
+    def select_cluster_heads(self, state: NetworkState) -> np.ndarray:
+        assert self.k is not None, "prepare() must run first"
+        n_primary = max(1, round(self.k * self.primary_fraction))
+        n_secondary = max(1, self.k - n_primary)
+        everyone = np.arange(state.n)
+        primaries = self._elect(state, min(n_primary / state.n, 0.99), everyone)
+        rest = np.setdiff1d(everyone, primaries)
+        secondaries = self._elect(
+            state, min(n_secondary / max(rest.size, 1), 0.99), rest
+        )
+        self._primaries = primaries
+        return np.union1d(primaries, secondaries)
+
+    def choose_relay(
+        self,
+        state: NetworkState,
+        node: int,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> int:
+        d = state.distances_from(node, heads)
+        return int(heads[d.argmin()])
+
+    def uplink_path(
+        self, state: NetworkState, head: int, heads: np.ndarray
+    ) -> list[int]:
+        """Secondary heads relay through the nearest alive primary."""
+        primaries = self._primaries
+        if head in primaries or primaries.size == 0:
+            return []
+        alive = primaries[state.ledger.alive[primaries]]
+        if alive.size == 0:
+            return []
+        d = state.distances_from(head, alive)
+        return [int(alive[d.argmin()])]

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``quickstart``   one Table-2 run per protocol, printed side by side
+``fig3``         regenerate the three panels of Fig. 3
+``fig4``         the large-scale dataset evenness report (Fig. 4)
+``kopt``         Theorem-1 / Lemma-1 validation
+``complexity``   the O(RN) / O(kX) measurements (§4.3)
+``ablation``     QLEC design-choice ablation
+``lifespan``     alive-node curves + FND/HND/LND milestones
+``convergence``  Theorem-3 X measurement (expected vs sampled backups)
+``sensitivity``  QLEC hyperparameter robustness sweep
+``scenario``     run one protocol on a named scenario from the catalog
+``report``       run everything and write REPORT.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QLEC (ICPP 2019) reproduction — experiment drivers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quick = sub.add_parser("quickstart", help="compare protocols on Table 2")
+    quick.add_argument("--seed", type=int, default=7)
+    quick.add_argument("--lam", type=float, default=4.0,
+                       help="mean packet inter-arrival (congestion level)")
+
+    fig3 = sub.add_parser("fig3", help="regenerate Fig. 3 (a)-(c)")
+    fig3.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    fig3.add_argument("--lambdas", type=float, nargs="+",
+                      default=[2.0, 4.0, 8.0, 16.0])
+    fig3.add_argument("--serial", action="store_true",
+                      help="disable the process pool")
+
+    fig4 = sub.add_parser("fig4", help="large-scale dataset run (Fig. 4)")
+    fig4.add_argument("--nodes", type=int, default=2896)
+    fig4.add_argument("--clusters", type=int, default=272)
+    fig4.add_argument("--rounds", type=int, default=10)
+    fig4.add_argument("--seed", type=int, default=0)
+    fig4.add_argument("--compare", action="store_true",
+                      help="also run FCM and k-means on the same network")
+    fig4.add_argument("--csv", type=str, default=None,
+                      help="path to a real Global Power Plant Database CSV")
+
+    sub.add_parser("kopt", help="Theorem 1 validation")
+    sub.add_parser("complexity", help="O(RN) / O(kX) measurements")
+
+    abl = sub.add_parser("ablation", help="QLEC design-choice ablation")
+    abl.add_argument("--lam", type=float, default=4.0)
+    abl.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+
+    life = sub.add_parser("lifespan", help="alive curves + FND/HND/LND")
+    life.add_argument("--rounds", type=int, default=60)
+    life.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    life.add_argument("--energy", type=float, default=0.1)
+
+    sub.add_parser("convergence", help="Theorem-3 X measurement")
+
+    sens = sub.add_parser("sensitivity", help="QLEC hyperparameter robustness")
+    sens.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    sens.add_argument("--axes", type=str, nargs="+", default=None)
+
+    scen = sub.add_parser("scenario", help="run a protocol on a named scenario")
+    scen.add_argument("name", type=str, help="scenario name (see --list)")
+    scen.add_argument("--protocol", type=str, default="qlec")
+    scen.add_argument("--seed", type=int, default=0)
+    scen.add_argument("--layout", action="store_true",
+                      help="print the ASCII network layout")
+
+    rep = sub.add_parser("report", help="run everything, write REPORT.md")
+    rep.add_argument("--out", type=str, default="REPORT.md")
+    rep.add_argument("--quick", action="store_true")
+    rep.add_argument("--serial", action="store_true")
+
+    return parser
+
+
+def _cmd_quickstart(args) -> int:
+    from .analysis import render_table
+    from .analysis.sweep import PROTOCOLS, run_cell
+
+    rows = [
+        run_cell(name, args.lam, args.seed)
+        for name in ("qlec", "fcm", "kmeans", "deec", "leach", "direct")
+    ]
+    print(render_table(rows, title=f"Table-2 scenario, lambda={args.lam}"))
+    _ = PROTOCOLS  # documented entry point for custom protocols
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from .experiments import Fig3Config, run_fig3
+
+    result = run_fig3(
+        Fig3Config(
+            lambdas=tuple(args.lambdas),
+            seeds=tuple(args.seeds),
+            serial=args.serial,
+        )
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from .experiments import Fig4Config, run_fig4
+
+    report = run_fig4(
+        Fig4Config(
+            n_nodes=args.nodes,
+            n_clusters=args.clusters,
+            rounds=args.rounds,
+            seed=args.seed,
+            dataset_path=args.csv,
+            compare=("fcm", "kmeans") if args.compare else (),
+        )
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_kopt(_args) -> int:
+    from .experiments import run_kopt_validation
+
+    print(run_kopt_validation().render())
+    return 0
+
+
+def _cmd_complexity(_args) -> int:
+    from .experiments import (
+        measure_qlearning_updates,
+        measure_selection_scaling,
+        render_complexity_report,
+    )
+
+    print(
+        render_complexity_report(
+            measure_selection_scaling(), measure_qlearning_updates()
+        )
+    )
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from .experiments import render_ablation, run_ablation
+
+    print(
+        render_ablation(
+            run_ablation(mean_interarrival=args.lam, seeds=tuple(args.seeds))
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import ReportConfig, generate_report
+
+    text = generate_report(ReportConfig(quick=args.quick, serial=args.serial))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {args.out} ({len(text)} chars)")
+    return 0
+
+
+def _cmd_lifespan(args) -> int:
+    from .experiments import LifespanCurveConfig, run_lifespan_curves
+
+    result = run_lifespan_curves(
+        LifespanCurveConfig(
+            rounds=args.rounds,
+            seeds=tuple(args.seeds),
+            initial_energy=args.energy,
+        )
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_convergence(_args) -> int:
+    from .experiments import render_convergence_study, run_convergence_study
+
+    print(render_convergence_study(run_convergence_study()))
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from .experiments import render_sensitivity, run_sensitivity
+
+    print(
+        render_sensitivity(
+            run_sensitivity(axes=args.axes, seeds=tuple(args.seeds))
+        )
+    )
+    return 0
+
+
+def _cmd_scenario(args) -> int:
+    from .analysis import network_ascii, render_table
+    from .analysis.sweep import PROTOCOLS
+    from .simulation import SimulationEngine, build_scenario, scenario_names
+
+    if args.name in ("--list", "list"):
+        print("\n".join(scenario_names()))
+        return 0
+    config, nodes, bs = build_scenario(args.name, seed=args.seed)
+    engine = SimulationEngine(
+        config, PROTOCOLS[args.protocol](), nodes=nodes, bs=bs
+    )
+    result = engine.run()
+    if args.layout:
+        print(
+            network_ascii(
+                result.positions, bs_position=engine.state.bs.position
+            )
+        )
+        print()
+    print(render_table([result.summary()],
+                       title=f"{args.protocol} on scenario {args.name!r}"))
+    return 0
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "kopt": _cmd_kopt,
+    "complexity": _cmd_complexity,
+    "ablation": _cmd_ablation,
+    "lifespan": _cmd_lifespan,
+    "convergence": _cmd_convergence,
+    "sensitivity": _cmd_sensitivity,
+    "scenario": _cmd_scenario,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

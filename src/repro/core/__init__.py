@@ -1,0 +1,39 @@
+"""QLEC core: the paper's primary contribution."""
+
+from .qlec import QLECProtocol
+from .rewards import RewardModel
+from .routing import QRouter
+from .selection import (
+    ImprovedDEECSelector,
+    SelectionConfig,
+    SelectionResult,
+    energy_threshold,
+    rotation_threshold,
+)
+from .theory import (
+    cluster_radius,
+    expected_sq_distance_to_ch,
+    mean_distance_to_point,
+    optimal_cluster_count,
+    optimal_cluster_count_int,
+    round_energy,
+    round_energy_curve,
+)
+
+__all__ = [
+    "ImprovedDEECSelector",
+    "QLECProtocol",
+    "QRouter",
+    "RewardModel",
+    "SelectionConfig",
+    "SelectionResult",
+    "cluster_radius",
+    "energy_threshold",
+    "expected_sq_distance_to_ch",
+    "mean_distance_to_point",
+    "optimal_cluster_count",
+    "optimal_cluster_count_int",
+    "rotation_threshold",
+    "round_energy",
+    "round_energy_curve",
+]

@@ -1,0 +1,180 @@
+"""Q-learning packet routing (paper §4.2, Algorithm 4).
+
+For each non-cluster-head node ``b_i`` the state space is
+``S(b_i) = {b_i, h_BS} ∪ H`` and each action ``a_j`` forwards the
+packet to head ``h_j`` (or directly to the BS).  Algorithm 4 is a
+*model-based expected backup*: using the ACK-estimated link
+probabilities ``P^{a_j}_{b_i h_j}`` the node computes, for every
+action,
+
+    Q*(b_i, a_j) = R_t + gamma * (P * V*(h_j) + (1 - P) * V*(b_i))
+
+then updates ``V*(b_i) = max_j Q*`` and forwards to the argmax head.
+Nodes never need to *take* an action to evaluate it — exactly the
+paper's point about Q-learning with a known local model.
+
+Cluster heads run the same backup for their single BS action at round
+end (Algorithm 1, line 15); the BS penalty ``l`` of Eq. (19) does not
+apply to heads, whose designated job is the BS uplink.
+
+Two extensions beyond the paper are provided for the ablation study:
+``epsilon``-greedy exploration, and a *sampled* TD backup
+(``learning_rate`` is not None) replacing the expected one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import QLearningConfig
+from ..rl.policies import EpsilonGreedyPolicy, GreedyPolicy, Policy
+from ..rl.qtable import VTable
+from ..simulation.state import NetworkState
+from .rewards import RewardModel
+
+__all__ = ["QRouter"]
+
+
+class QRouter:
+    """Per-run routing brain shared by all nodes (the V "matrix").
+
+    Parameters
+    ----------
+    state:
+        The network this router observes (link estimates, residual
+        energies, geometry).
+    reward_model:
+        Evaluator of Eqs. (16)-(20).
+    qconfig:
+        Discount and convergence parameters.
+    epsilon:
+        Exploration rate for relay choice; the paper's algorithm is
+        purely greedy (epsilon = 0).
+    learning_rate:
+        When given, Q backups become sampled TD updates with this step
+        size instead of full expected backups (ablation variant).
+    """
+
+    def __init__(
+        self,
+        state: NetworkState,
+        reward_model: RewardModel,
+        qconfig: QLearningConfig,
+        epsilon: float = 0.0,
+        learning_rate: float | None = None,
+        policy: Policy | None = None,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        if learning_rate is not None and not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must lie in (0, 1]")
+        self.state = state
+        self.rewards = reward_model
+        self.cfg = qconfig
+        self.epsilon = epsilon
+        self.learning_rate = learning_rate
+        if policy is not None:
+            self.policy: Policy = policy
+        elif epsilon > 0.0:
+            self.policy = EpsilonGreedyPolicy(epsilon)
+        else:
+            self.policy = GreedyPolicy()
+        self.v = VTable(state.n)
+        #: Number of Q evaluations performed (the per-call k+1 of
+        #: Lemma 3); together with ``v.update_count`` this measures X.
+        self.q_evaluations = 0
+
+    # ------------------------------------------------------------------
+    def action_targets(self, heads: np.ndarray) -> np.ndarray:
+        """The action set A(b_i): every head plus the direct-BS action."""
+        heads = np.asarray(heads, dtype=np.intp)
+        return np.concatenate([heads, [self.state.bs_index]])
+
+    def q_values(self, node: int, heads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized Algorithm 4, line 1: Q*(b_i, a_j) for all actions.
+
+        Returns ``(q, targets)`` where ``targets[j]`` is the relay
+        reached by action j (the last entry is the base station).
+        """
+        st = self.state
+        targets = self.action_targets(heads)
+        distances = st.distances_from(node, targets)
+        p = st.link_estimator.estimates[node, targets]
+        # Residual energy of each candidate; the BS is mains-powered —
+        # its x(.) contribution is pinned to 0 so Eq. (19)'s penalty l
+        # alone governs the direct-uplink tradeoff.
+        is_bs = targets == st.bs_index
+        e_dst = np.where(
+            is_bs, 0.0, st.ledger.residual[np.where(is_bs, 0, targets)]
+        )
+        r_t = self.rewards.expected_reward(
+            p, float(st.ledger.residual[node]), e_dst, distances, is_bs
+        )
+        v_targets = self.v.get_many(targets)
+        q = r_t + self.cfg.gamma * (p * v_targets + (1.0 - p) * self.v[node])
+        self.q_evaluations += q.size
+        return q, targets
+
+    # ------------------------------------------------------------------
+    def choose(self, node: int, heads: np.ndarray,
+               rng: np.random.Generator | None = None) -> int:
+        """Algorithm 4: back up V(b_i) and return the chosen relay."""
+        heads = np.asarray(heads, dtype=np.intp)
+        if heads.size == 0:
+            return self.state.bs_index
+        q, targets = self.q_values(node, heads)
+        v_new = float(q.max())
+        if self.learning_rate is None:
+            self.v[node] = v_new
+        else:
+            old = self.v[node]
+            self.v[node] = old + self.learning_rate * (v_new - old)
+        return int(targets[self.policy.select(q, rng)])
+
+    def ch_backup(self, head: int) -> None:
+        """Algorithm 1, line 15: a head refreshes its V from the BS
+        uplink action.
+
+        No BS penalty applies (the uplink is the head's designated
+        job), and the cost term prices the *compressed* per-packet
+        share of the aggregate — the "processed data" the head actually
+        transmits after fusion.
+        """
+        st = self.state
+        d = st.distance(head, st.bs_index)
+        p = st.link_estimator.get(head, st.bs_index)
+        compressed = st.config.compression_ratio * st.config.traffic.packet_bits
+        r_t = float(
+            self.rewards.expected_reward(
+                p, float(st.ledger.residual[head]), 0.0, d,
+                is_bs=None, bits=compressed,
+            )
+        )
+        q = r_t + self.cfg.gamma * (p * self.v[st.bs_index] + (1.0 - p) * self.v[head])
+        self.v[head] = q
+        self.q_evaluations += 1
+
+    # ------------------------------------------------------------------
+    def relax(self, node_indices: np.ndarray, heads: np.ndarray) -> int:
+        """Iterate expected backups over ``node_indices`` until the V
+        table converges (paper §3.3: "update V values ... so that V can
+        converge very fast").
+
+        Returns the number of full sweeps used.  The total single-entry
+        update count is available via ``self.v.update_count`` — the X of
+        Lemma 3's O(kX) bound.
+        """
+        node_indices = np.asarray(node_indices, dtype=np.intp)
+        heads = np.asarray(heads, dtype=np.intp)
+        if node_indices.size == 0 or heads.size == 0:
+            return 0
+        for sweep in range(1, self.cfg.max_backups + 1):
+            delta = 0.0
+            for node in node_indices:
+                q, _ = self.q_values(int(node), heads)
+                v_new = float(q.max())
+                delta = max(delta, abs(v_new - self.v[int(node)]))
+                self.v[int(node)] = v_new
+            if delta < self.cfg.tol:
+                return sweep
+        return self.cfg.max_backups

@@ -1,0 +1,156 @@
+"""Analytic results of the paper: cluster geometry in 3-D.
+
+Implements, symbol for symbol:
+
+* Eq. (5)  — cluster coverage radius ``d_c = (3 / (4 pi k))^(1/3) * M``;
+* Lemma 1  — expected squared member->CH distance
+  ``E{d^2_toCH} = (4 pi / 5) * (3 / (4 pi))^(5/3) * M^2 / k^(2/3)``;
+* Eq. (6)  — total network energy per round (delegated to the radio
+  model);
+* Theorem 1 — the optimal cluster count
+  ``k_opt = 3/(4 pi) * (8 pi N eps_fs / (15 eps_mp))^(3/5)
+  * M^(6/5) / d_toBS^(12/5)``.
+
+A Monte-Carlo cross-check of Lemma 1 and a numeric argmin check of
+Theorem 1 live in ``tests/core/test_theory.py`` and in the
+``benchmarks/test_bench_kopt.py`` experiment driver.
+
+Note on magnitudes: with Table 2's constants and a centre base station,
+the closed form yields k_opt ~= 11 for the 100-node cube, while the
+paper reports "approximately 5".  The formula here is the paper's
+formula verbatim; the discrepancy is recorded in EXPERIMENTS.md and the
+paper's k = 5 is pinned in ``paper_config``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import RadioConfig
+from ..energy.radio import FirstOrderRadio
+
+__all__ = [
+    "cluster_radius",
+    "expected_sq_distance_to_ch",
+    "round_energy",
+    "optimal_cluster_count",
+    "optimal_cluster_count_int",
+    "mean_distance_to_point",
+    "round_energy_curve",
+]
+
+
+def cluster_radius(k: int, side: float) -> float:
+    """Cluster coverage radius ``d_c`` of Eq. (5).
+
+    Chosen so k balls of radius d_c jointly match the cube volume:
+    ``d_c = cbrt(3 / (4 pi k)) * M``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if side <= 0.0:
+        raise ValueError("side must be positive")
+    return ((3.0 / (4.0 * math.pi * k)) ** (1.0 / 3.0)) * side
+
+
+def expected_sq_distance_to_ch(k: int, side: float) -> float:
+    """Lemma 1: expected squared distance from a member to its CH.
+
+    Derived by integrating ``r^2`` over a uniform ball of radius d_c:
+    ``E{d^2} = (4 pi / 5) * (3 / (4 pi))^(5/3) * M^2 / k^(2/3)``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if side <= 0.0:
+        raise ValueError("side must be positive")
+    coeff = (4.0 * math.pi / 5.0) * (3.0 / (4.0 * math.pi)) ** (5.0 / 3.0)
+    return coeff * side ** 2 / k ** (2.0 / 3.0)
+
+
+def round_energy(
+    bits: float,
+    n_nodes: int,
+    k: int,
+    side: float,
+    d_to_bs: float,
+    radio: RadioConfig | None = None,
+) -> float:
+    """Eq. (6) with Lemma 1 substituted: per-round network energy as a
+    function of the cluster count k."""
+    radio = radio if radio is not None else RadioConfig()
+    model = FirstOrderRadio(radio)
+    d2 = expected_sq_distance_to_ch(k, side)
+    return model.round_energy(bits, n_nodes, k, d_to_bs, d2)
+
+
+def round_energy_curve(
+    bits: float,
+    n_nodes: int,
+    ks: np.ndarray,
+    side: float,
+    d_to_bs: float,
+    radio: RadioConfig | None = None,
+) -> np.ndarray:
+    """Vectorized Eq. (6) over an array of candidate cluster counts."""
+    ks = np.asarray(ks)
+    if np.any(ks < 1):
+        raise ValueError("all k must be >= 1")
+    return np.asarray(
+        [round_energy(bits, n_nodes, int(k), side, d_to_bs, radio) for k in ks]
+    )
+
+
+def optimal_cluster_count(
+    n_nodes: int,
+    side: float,
+    d_to_bs: float,
+    radio: RadioConfig | None = None,
+) -> float:
+    """Theorem 1: the continuous optimal cluster count.
+
+    ``k_opt = 3/(4 pi) * (8 pi N eps_fs / (15 eps_mp))^(3/5)
+    * M^(6/5) / d_toBS^(12/5)``
+
+    obtained by substituting Lemma 1 into Eq. (6) and solving
+    ``dE_r/dk = 0``.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if side <= 0.0 or d_to_bs <= 0.0:
+        raise ValueError("side and d_to_bs must be positive")
+    radio = radio if radio is not None else RadioConfig()
+    ratio = 8.0 * math.pi * n_nodes * radio.eps_fs / (15.0 * radio.eps_mp)
+    return (
+        (3.0 / (4.0 * math.pi))
+        * ratio ** (3.0 / 5.0)
+        * side ** (6.0 / 5.0)
+        / d_to_bs ** (12.0 / 5.0)
+    )
+
+
+def optimal_cluster_count_int(
+    n_nodes: int,
+    side: float,
+    d_to_bs: float,
+    radio: RadioConfig | None = None,
+) -> int:
+    """Theorem 1 rounded to a usable integer, clamped to [1, N]."""
+    k = optimal_cluster_count(n_nodes, side, d_to_bs, radio)
+    return max(1, min(n_nodes, round(k)))
+
+
+def mean_distance_to_point(side: float, point, n_samples: int = 200_000,
+                           rng: np.random.Generator | int | None = None) -> float:
+    """Monte-Carlo estimate of the average distance from a uniform point
+    in the M^3 cube to ``point`` — the d_toBS approximation the paper
+    borrows from Bandyopadhyay & Coyle [1]."""
+    if side <= 0.0:
+        raise ValueError("side must be positive")
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    pts = gen.uniform(0.0, side, size=(n_samples, 3))
+    diff = pts - np.asarray(point, dtype=np.float64)
+    return float(np.sqrt(np.einsum("ij,ij->i", diff, diff)).mean())

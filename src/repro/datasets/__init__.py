@@ -1,0 +1,15 @@
+"""Dataset substrates (the §5.3 large-scale experiment)."""
+
+from .power_plants import (
+    CHINA_BBOX,
+    PowerPlantDataset,
+    load_power_plants,
+    synthetic_china_plants,
+)
+
+__all__ = [
+    "CHINA_BBOX",
+    "PowerPlantDataset",
+    "load_power_plants",
+    "synthetic_china_plants",
+]

@@ -1,0 +1,19 @@
+"""Energy substrate: first-order radio model and battery accounting."""
+
+from .battery import EnergyLedger
+from .radio import (
+    FirstOrderRadio,
+    aggregate_energy,
+    amplifier_energy,
+    receive_energy,
+    transmit_energy,
+)
+
+__all__ = [
+    "EnergyLedger",
+    "FirstOrderRadio",
+    "aggregate_energy",
+    "amplifier_energy",
+    "receive_energy",
+    "transmit_energy",
+]

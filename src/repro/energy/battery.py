@@ -1,0 +1,209 @@
+"""Vectorized battery ledger for a sensor-node population.
+
+The simulator accounts every joule a node spends: transmit, receive,
+aggregate.  Energies live in one contiguous float64 array so discharge
+operations across the whole population are single vectorized calls (per
+the HPC guides: in-place ops, no per-node Python objects on the hot
+path).
+
+Death semantics follow the paper (§5.1): "the network dies when there
+exists one sensor possessing less energy than a given energy death
+line."  A node at or below the death line is *dead*: it neither
+generates traffic nor serves as a cluster head, and its residual energy
+is frozen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EnergyLedger"]
+
+
+class EnergyLedger:
+    """Tracks residual energy, consumption, and liveness for N nodes.
+
+    Parameters
+    ----------
+    initial:
+        Per-node initial energies, shape ``(N,)``.  Heterogeneous
+        initial energies (the DEEC setting and the large-scale dataset
+        experiment) are supported directly.
+    death_line:
+        Residual energy at or below which a node counts as dead.
+    """
+
+    def __init__(self, initial: np.ndarray, death_line: float = 0.0) -> None:
+        initial = np.asarray(initial, dtype=np.float64)
+        if initial.ndim != 1 or initial.size == 0:
+            raise ValueError("initial must be a non-empty 1-D array")
+        if np.any(initial <= 0.0):
+            raise ValueError("initial energies must be positive")
+        if death_line < 0.0:
+            raise ValueError("death_line must be >= 0")
+        if np.any(initial <= death_line):
+            raise ValueError("all initial energies must exceed the death line")
+        self._initial = initial.copy()
+        self._residual = initial.copy()
+        self._death_line = float(death_line)
+        self._alive = np.ones(initial.size, dtype=bool)
+        #: Cumulative spend per consumption category, for reporting.
+        self.spent_tx = 0.0
+        self.spent_rx = 0.0
+        self.spent_da = 0.0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._initial.size
+
+    @property
+    def death_line(self) -> float:
+        return self._death_line
+
+    @property
+    def initial(self) -> np.ndarray:
+        """Read-only view of the initial energies."""
+        v = self._initial.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def residual(self) -> np.ndarray:
+        """Read-only view of the residual energies."""
+        v = self._residual.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Boolean liveness mask (read-only view)."""
+        v = self._alive.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def n_alive(self) -> int:
+        return int(self._alive.sum())
+
+    @property
+    def any_dead(self) -> bool:
+        """True once at least one node crossed the death line — the
+        paper's network-death criterion."""
+        return bool((~self._alive).any())
+
+    @property
+    def total_initial(self) -> float:
+        return float(self._initial.sum())
+
+    @property
+    def total_residual(self) -> float:
+        return float(self._residual.sum())
+
+    @property
+    def total_consumed(self) -> float:
+        """Net battery drawdown (initial minus residual).  Equals the
+        gross radio spend unless harvesting credited energy back."""
+        return self.total_initial - self.total_residual
+
+    @property
+    def total_spent(self) -> float:
+        """Gross radio energy spent (tx + rx + aggregation) — the
+        metric Fig. 3(b) reports; unaffected by harvesting income."""
+        return self.spent_tx + self.spent_rx + self.spent_da
+
+    def consumption_ratio(self) -> np.ndarray:
+        """Per-node consumed / initial energy ratio (Figure 4's metric)."""
+        return (self._initial - self._residual) / self._initial
+
+    def average_energy(self) -> float:
+        """Mean residual energy over *all* nodes (dead nodes included,
+        matching the paper's network-average estimate E(r))."""
+        return float(self._residual.mean())
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _charge_category(self, category: str, amount: float) -> None:
+        if category == "tx":
+            self.spent_tx += amount
+        elif category == "rx":
+            self.spent_rx += amount
+        elif category == "da":
+            self.spent_da += amount
+        else:
+            raise ValueError(f"unknown energy category {category!r}")
+
+    def discharge(self, idx, amount, category: str = "tx") -> None:
+        """Subtract ``amount`` joules from nodes ``idx``.
+
+        ``idx`` may be a scalar index, an index array, or a boolean
+        mask; ``amount`` broadcasts against it.  Dead nodes are skipped
+        (their residual is frozen at the value they died with).
+        Residuals are floored at zero — a node can never bank negative
+        energy.
+        """
+        idx = np.atleast_1d(np.asarray(idx))
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        amount = np.broadcast_to(np.asarray(amount, dtype=np.float64), idx.shape)
+        if np.any(amount < 0.0):
+            raise ValueError("discharge amount must be non-negative")
+        live = self._alive[idx]
+        idx = idx[live]
+        amount = amount[live]
+        if idx.size == 0:
+            return
+        before = self._residual[idx]
+        after = np.maximum(before - amount, 0.0)
+        self._charge_category(category, float((before - after).sum()))
+        self._residual[idx] = after
+        newly_dead = idx[after <= self._death_line]
+        if newly_dead.size:
+            self._alive[newly_dead] = False
+
+    def recharge(self, amount, revive: bool = True) -> float:
+        """Credit harvested energy, capped at each node's initial
+        capacity (the battery cannot over-charge).
+
+        Parameters
+        ----------
+        amount:
+            Scalar or ``(N,)`` joules of income per node.
+        revive:
+            When True, nodes whose residual climbs back above the death
+            line become alive again (harvesting-aware semantics); the
+            historical first-death event is untouched — only current
+            liveness changes.
+
+        Returns
+        -------
+        float
+            Joules actually banked after capacity clipping.
+        """
+        amount = np.broadcast_to(
+            np.asarray(amount, dtype=np.float64), (self.n,)
+        )
+        if np.any(amount < 0.0):
+            raise ValueError("recharge amount must be non-negative")
+        before = self._residual.copy()
+        np.minimum(self._residual + amount, self._initial, out=self._residual)
+        banked = float((self._residual - before).sum())
+        if revive:
+            self._alive |= self._residual > self._death_line
+        return banked
+
+    def is_alive(self, i: int) -> bool:
+        return bool(self._alive[i])
+
+    def snapshot(self) -> np.ndarray:
+        """Residual energies as an owned copy (safe to store)."""
+        return self._residual.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EnergyLedger(n={self.n}, alive={self.n_alive}, "
+            f"residual={self.total_residual:.3f}J / {self.total_initial:.3f}J)"
+        )

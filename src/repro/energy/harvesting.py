@@ -1,0 +1,142 @@
+"""Energy-harvesting models (extension; cf. the paper's HyDRO citation).
+
+Basagni et al.'s HyDRO — which the paper cites as prior Q-learning
+routing work — targets *harvesting-aware* networks where nodes trickle
+energy back between rounds.  This module adds that capability as an
+optional engine feature: a per-round per-node energy income, capped at
+the node's initial capacity, with optional revival of nodes that climb
+back above the death line.
+
+Two standard profiles:
+
+* :class:`SolarHarvester` — sinusoidal diurnal profile (zero at night)
+  with multiplicative weather noise; panel capacity varies per node.
+* :class:`ConstantHarvester` — fixed trickle (vibration/thermal
+  scavenging), the analytically convenient baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .battery import EnergyLedger
+
+__all__ = [
+    "HarvestingConfig",
+    "Harvester",
+    "ConstantHarvester",
+    "SolarHarvester",
+    "build_harvester",
+]
+
+
+@dataclass(frozen=True)
+class HarvestingConfig:
+    """Declarative harvesting selection for :class:`SimulationConfig`.
+
+    Attributes
+    ----------
+    model:
+        ``"solar"`` or ``"constant"``.
+    mean_income:
+        Mean per-node energy income per round, joules.
+    rounds_per_day:
+        Period of the solar cycle, in rounds.
+    revive:
+        Whether a node climbing back above the death line counts as
+        alive again (affects liveness, not the recorded first-death
+        round).
+    """
+
+    model: str = "solar"
+    mean_income: float = 0.002
+    rounds_per_day: int = 10
+    revive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.model not in ("solar", "constant"):
+            raise ValueError("model must be 'solar' or 'constant'")
+        if self.mean_income < 0.0:
+            raise ValueError("mean_income must be >= 0")
+        if self.rounds_per_day < 1:
+            raise ValueError("rounds_per_day must be >= 1")
+
+
+class Harvester(abc.ABC):
+    """Per-round energy income generator."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    @abc.abstractmethod
+    def income(self, n: int, round_index: int) -> np.ndarray:
+        """Per-node harvested joules for this round, shape ``(n,)``."""
+
+    def apply(
+        self, ledger: EnergyLedger, round_index: int, revive: bool = True
+    ) -> float:
+        """Credit this round's income to the ledger; returns the total
+        joules actually banked (capacity-capped)."""
+        return ledger.recharge(self.income(ledger.n, round_index), revive=revive)
+
+
+class ConstantHarvester(Harvester):
+    """Fixed trickle income, identical for every node."""
+
+    def __init__(self, rng: np.random.Generator, mean_income: float) -> None:
+        super().__init__(rng)
+        if mean_income < 0.0:
+            raise ValueError("mean_income must be >= 0")
+        self.mean_income = mean_income
+
+    def income(self, n: int, round_index: int) -> np.ndarray:
+        return np.full(n, self.mean_income)
+
+
+class SolarHarvester(Harvester):
+    """Diurnal sinusoid, clipped at night, with weather noise.
+
+    Income at round r: ``capacity_i * max(0, sin(2 pi r / P)) * w`` with
+    ``w ~ LogNormal(0, 0.25)`` shared per round (clouds affect everyone)
+    and per-node panel capacities drawn once ~ U(0.5, 1.5)*mean.
+    The daytime mean over a full period equals ``mean_income``.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_income: float,
+        rounds_per_day: int = 10,
+    ) -> None:
+        super().__init__(rng)
+        if mean_income < 0.0:
+            raise ValueError("mean_income must be >= 0")
+        if rounds_per_day < 1:
+            raise ValueError("rounds_per_day must be >= 1")
+        self.mean_income = mean_income
+        self.rounds_per_day = rounds_per_day
+        self._panels: np.ndarray | None = None
+        # E[max(0, sin)] over a period is 1/pi; normalise so the
+        # *average* income per round matches mean_income.
+        self._norm = math.pi
+
+    def income(self, n: int, round_index: int) -> np.ndarray:
+        if self._panels is None or self._panels.size != n:
+            self._panels = self.mean_income * self.rng.uniform(0.5, 1.5, size=n)
+        phase = 2.0 * math.pi * (round_index % self.rounds_per_day) / self.rounds_per_day
+        sun = max(0.0, math.sin(phase)) * self._norm
+        weather = float(self.rng.lognormal(mean=0.0, sigma=0.25))
+        return self._panels * sun * weather
+
+
+def build_harvester(
+    config: HarvestingConfig, rng: np.random.Generator
+) -> Harvester:
+    """Instantiate the harvester a :class:`HarvestingConfig` describes."""
+    if config.model == "constant":
+        return ConstantHarvester(rng, config.mean_income)
+    return SolarHarvester(rng, config.mean_income, config.rounds_per_day)

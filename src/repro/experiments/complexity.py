@@ -1,0 +1,154 @@
+"""Experiment E-C1: empirical check of the §4.3 complexity claims.
+
+Lemma 2: the cluster-head-selection phase runs in O(RN).
+Lemma 3 / Theorem 3: the Q-learning phase runs in O(kX), X being the
+number of V-table updates until convergence.
+
+We measure (a) wall-clock of the selection phase as N scales at fixed
+R — the growth should be ~linear; (b) the per-relax Q-evaluation count,
+which must equal (k + 1) * updates exactly (each Send-Data evaluates
+one Q per head plus the BS action); and (c) the convergence sweep count
+X of the expected-backup relaxation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import render_table
+from ..config import paper_config
+from ..core import QLECProtocol
+from ..core.selection import ImprovedDEECSelector
+from ..simulation.state import NetworkState
+
+__all__ = [
+    "SelectionScalingRow",
+    "measure_selection_scaling",
+    "measure_qlearning_updates",
+    "QLearningCostRow",
+    "render_complexity_report",
+]
+
+
+@dataclass(frozen=True)
+class SelectionScalingRow:
+    n_nodes: int
+    rounds: int
+    seconds: float
+
+    @property
+    def seconds_per_node_round(self) -> float:
+        return self.seconds / (self.n_nodes * self.rounds)
+
+
+def measure_selection_scaling(
+    n_values=(50, 100, 200, 400, 800),
+    rounds: int = 20,
+    k: int = 5,
+    seed: int = 0,
+) -> list[SelectionScalingRow]:
+    """Time Algorithm 2+3 alone (no data plane) across N."""
+    rows = []
+    for n in n_values:
+        config = paper_config(seed=seed, rounds=rounds)
+        config = config.replace(
+            deployment=config.deployment.__class__(
+                n_nodes=int(n),
+                side=config.deployment.side,
+                initial_energy=config.deployment.initial_energy,
+            ),
+            n_clusters=k,
+        )
+        state = NetworkState(config)
+        selector = ImprovedDEECSelector(k)
+        start = time.perf_counter()
+        for r in range(rounds):
+            state.round_index = r
+            result = selector.select(state)
+            state.mark_cluster_heads(result.heads)
+        elapsed = time.perf_counter() - start
+        rows.append(SelectionScalingRow(int(n), rounds, elapsed))
+    return rows
+
+
+@dataclass(frozen=True)
+class QLearningCostRow:
+    n_nodes: int
+    k: int
+    sweeps_to_converge: int
+    v_updates: int
+    q_evaluations: int
+
+    @property
+    def evaluations_per_update(self) -> float:
+        """Must equal k + 1 exactly (Lemma 3's per-step cost)."""
+        if self.v_updates == 0:
+            return 0.0
+        return self.q_evaluations / self.v_updates
+
+
+def measure_qlearning_updates(
+    n_nodes: int = 100, k: int = 5, seed: int = 0
+) -> QLearningCostRow:
+    """Relax the V table to convergence and count updates (the X)."""
+    config = paper_config(seed=seed)
+    config = config.replace(n_clusters=k)
+    state = NetworkState(config)
+    protocol = QLECProtocol()
+    protocol.prepare(state)
+    heads = protocol.select_cluster_heads(state)
+    router = protocol.router
+    assert router is not None
+    members = np.setdiff1d(state.alive_indices(), heads)
+    sweeps = router.relax(members, heads)
+    return QLearningCostRow(
+        n_nodes=n_nodes,
+        k=int(heads.size),
+        sweeps_to_converge=sweeps,
+        v_updates=router.v.update_count,
+        q_evaluations=router.q_evaluations,
+    )
+
+
+def render_complexity_report(
+    selection: list[SelectionScalingRow], qlearning: QLearningCostRow
+) -> str:
+    sel_rows = [
+        {
+            "N": r.n_nodes,
+            "R": r.rounds,
+            "seconds": r.seconds,
+            "us / (N*R)": r.seconds_per_node_round * 1e6,
+        }
+        for r in selection
+    ]
+    q_rows = [
+        {
+            "N": qlearning.n_nodes,
+            "k": qlearning.k,
+            "sweeps (X/|B|)": qlearning.sweeps_to_converge,
+            "V updates (X)": qlearning.v_updates,
+            "Q evals": qlearning.q_evaluations,
+            "Q evals / update": qlearning.evaluations_per_update,
+        }
+    ]
+    return (
+        render_table(sel_rows, precision=6,
+                     title="Lemma 2 — selection phase scaling (O(RN))")
+        + "\n\n"
+        + render_table(q_rows, precision=3,
+                       title="Lemma 3 — Q-learning cost (O(kX))")
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_complexity_report(
+        measure_selection_scaling(), measure_qlearning_updates()
+    ))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

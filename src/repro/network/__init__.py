@@ -1,0 +1,36 @@
+"""Network substrate: nodes, deployments, geometry, channel, queues."""
+
+from .channel import Channel, LinkEstimator, delivery_probability
+from .deployment import (
+    deploy,
+    from_positions,
+    mountain_terrain,
+    underwater_column,
+    uniform_cube,
+)
+from .node import BaseStation, Node, NodeArray
+from .packet import PacketRecord, PacketStats, PacketStatus
+from .queueing import CHQueue, QueueBank
+from .topology import Topology, distances_to_point, pairwise_distances
+
+__all__ = [
+    "BaseStation",
+    "CHQueue",
+    "Channel",
+    "LinkEstimator",
+    "Node",
+    "NodeArray",
+    "PacketRecord",
+    "PacketStats",
+    "PacketStatus",
+    "QueueBank",
+    "Topology",
+    "delivery_probability",
+    "deploy",
+    "distances_to_point",
+    "from_positions",
+    "mountain_terrain",
+    "pairwise_distances",
+    "underwater_column",
+    "uniform_cube",
+]

@@ -1,0 +1,171 @@
+"""Lossy wireless channel with ACK-based link-quality estimation.
+
+The paper's §4.2: "Poor communication environment or limited storage
+caches of cluster heads may lead to packet loss so P = 1 does not
+always hold.  Similar to the mechanism adopted by TCP/IP protocol, an
+ACK message will be delivered ... Hence, the link probability can be
+estimated by the ratio between the successfully transmitted packets and
+all the packets sent recently" (the QELAR/HyDRO estimator, ref. [2]).
+
+We model the *physical* delivery probability of a link as a smooth,
+distance-dependent curve — near-certain delivery well inside the
+free-space regime, decaying beyond the crossover distance d0 — and give
+every node an exponentially-weighted success-ratio estimator fed by
+ACKs.  The estimator (not the ground truth) is what QLEC's Q backup
+uses, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..energy.radio import FirstOrderRadio
+
+__all__ = ["delivery_probability", "Channel", "LinkEstimator"]
+
+
+def delivery_probability(
+    distance: np.ndarray | float,
+    d0: float,
+    floor: float = 0.05,
+    sharpness: float = 2.0,
+) -> np.ndarray | float:
+    """Probability a single transmission over ``distance`` succeeds.
+
+    A logistic-of-log-distance model: ~1 for d << d0, 0.5 at ``2 * d0``
+    and approaching ``floor`` for very long links.  The exact curve is
+    a modelling choice (the paper does not publish one); what matters
+    for reproducing Fig. 3 is monotone decay with distance plus a
+    non-zero far-field floor, which this provides.
+
+    Parameters
+    ----------
+    distance:
+        Link length(s), meters.
+    d0:
+        Free-space/multi-path crossover of the radio; the knee of the
+        reliability curve is placed at ``2 * d0``.
+    floor:
+        Asymptotic far-field success probability.
+    sharpness:
+        Steepness of the logistic transition.
+    """
+    if d0 <= 0.0:
+        raise ValueError("d0 must be positive")
+    if not 0.0 <= floor < 1.0:
+        raise ValueError("floor must lie in [0, 1)")
+    d = np.asarray(distance, dtype=np.float64)
+    if np.any(d < 0.0):
+        raise ValueError("distance must be non-negative")
+    knee = 2.0 * d0
+    with np.errstate(divide="ignore"):
+        x = np.where(d > 0.0, np.log(d / knee), -np.inf)
+    p = floor + (1.0 - floor) / (1.0 + np.exp(sharpness * x * 4.0))
+    # exp(-inf) -> 0 gives p = 1 at d = 0, as desired.
+    if np.isscalar(distance) or getattr(distance, "ndim", 1) == 0:
+        return float(p)
+    return p
+
+
+class LinkEstimator:
+    """EWMA success-ratio estimator, one value per (node, target) pair.
+
+    Mirrors the paper's ACK-ratio estimate: after each attempt the
+    estimate moves toward 1 (ACK received) or 0 (timeout) with weight
+    ``alpha``.  Unobserved links optimistically start at
+    ``initial`` so fresh cluster heads are explored.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_targets: int,
+        alpha: float = 0.2,
+        initial: float = 1.0,
+        shared: bool = False,
+    ) -> None:
+        if n_nodes < 1 or n_targets < 1:
+            raise ValueError("n_nodes and n_targets must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        if not 0.0 <= initial <= 1.0:
+            raise ValueError("initial must lie in [0, 1]")
+        self.alpha = alpha
+        #: When True, an ACK outcome updates every sender's estimate of
+        #: that target (the target's service ratio is effectively
+        #: broadcast, e.g. piggybacked on its HELLO/ACK traffic).  This
+        #: makes congestion at a head visible to all members at once;
+        #: per-pair mode keeps the classical private estimate.
+        self.shared = shared
+        self._est = np.full((n_nodes, n_targets), initial, dtype=np.float64)
+
+    @property
+    def estimates(self) -> np.ndarray:
+        v = self._est.view()
+        v.flags.writeable = False
+        return v
+
+    def get(self, node: int, target: int) -> float:
+        return float(self._est[node, target])
+
+    def row(self, node: int) -> np.ndarray:
+        """Estimates from ``node`` to every target (read-only)."""
+        v = self._est[node].view()
+        v.flags.writeable = False
+        return v
+
+    def update(self, node: int, target: int, success: bool) -> None:
+        obs = 1.0 if success else 0.0
+        if self.shared:
+            col = self._est[:, target]
+            col += self.alpha * (obs - col)
+        else:
+            self._est[node, target] += self.alpha * (
+                obs - self._est[node, target]
+            )
+
+
+class Channel:
+    """Ground-truth lossy channel: draws Bernoulli delivery outcomes.
+
+    Also prices the energy of each attempt: the sender always pays the
+    transmit energy (the radio does not know the packet will be lost);
+    the receiver pays receive energy only on success.
+    """
+
+    def __init__(
+        self,
+        radio: FirstOrderRadio,
+        rng: np.random.Generator,
+        floor: float = 0.05,
+        sharpness: float = 2.0,
+        blackout: bool = False,
+    ) -> None:
+        self.radio = radio
+        self.rng = rng
+        self.floor = floor
+        self.sharpness = sharpness
+        #: Failure-injection switch: when True every transmission fails
+        #: (used by fault tests; never enabled in experiments).
+        self.blackout = blackout
+
+    def success_probability(self, distance):
+        """Vectorized ground-truth delivery probability."""
+        return delivery_probability(
+            distance, self.radio.d0, self.floor, self.sharpness
+        )
+
+    def attempt(self, distance: float) -> bool:
+        """Simulate one transmission over ``distance``; True on ACK."""
+        if self.blackout:
+            return False
+        p = self.success_probability(distance)
+        return bool(self.rng.random() < p)
+
+    def attempt_many(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized Bernoulli trials for a batch of links."""
+        distances = np.asarray(distances, dtype=np.float64)
+        if self.blackout:
+            return np.zeros(distances.shape, dtype=bool)
+        p = self.success_probability(distances)
+        return self.rng.random(distances.shape) < p

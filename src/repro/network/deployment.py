@@ -1,0 +1,159 @@
+"""3-D node deployment generators.
+
+The paper's headline scenario scatters N nodes uniformly in an
+M x M x M cube (§5.1).  Its motivation section also names mountainous
+and underwater settings, and §5.3 uses a geographic dataset with
+synthetic heights.  Each of those deployments is reproduced here as a
+generator returning a :class:`~repro.network.node.NodeArray` plus a
+:class:`~repro.network.node.BaseStation`.
+
+All generators take a :class:`numpy.random.Generator` so experiment
+sweeps can spawn independent, reproducible streams per cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DeploymentConfig
+from .node import BaseStation, NodeArray
+
+__all__ = [
+    "uniform_cube",
+    "mountain_terrain",
+    "underwater_column",
+    "from_positions",
+    "heterogeneous_energies",
+    "deploy",
+]
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def uniform_cube(
+    n_nodes: int,
+    side: float,
+    initial_energy,
+    rng: np.random.Generator | int | None = None,
+    bs_position: tuple[float, float, float] | None = None,
+) -> tuple[NodeArray, BaseStation]:
+    """Uniform random placement in an ``side^3`` cube (paper §5.1).
+
+    The base station defaults to the cube centre, per Figure 1.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if side <= 0.0:
+        raise ValueError("side must be positive")
+    gen = _rng(rng)
+    positions = gen.uniform(0.0, side, size=(n_nodes, 3))
+    bs = bs_position if bs_position is not None else (side / 2,) * 3
+    return NodeArray(positions, initial_energy), BaseStation(tuple(bs))
+
+
+def mountain_terrain(
+    n_nodes: int,
+    side: float,
+    initial_energy,
+    rng: np.random.Generator | int | None = None,
+    n_peaks: int = 3,
+    roughness: float = 0.15,
+) -> tuple[NodeArray, BaseStation]:
+    """Nodes draped over a synthetic mountainous surface.
+
+    Models the paper's motivating "mountainous areas" scenario: (x, y)
+    uniform over the footprint, z following a sum-of-Gaussian-peaks
+    height field plus noise.  The base station sits on the highest
+    sampled point (a realistic gateway placement on a summit).
+    """
+    if n_peaks < 1:
+        raise ValueError("n_peaks must be >= 1")
+    if not 0.0 <= roughness < 1.0:
+        raise ValueError("roughness must lie in [0, 1)")
+    gen = _rng(rng)
+    xy = gen.uniform(0.0, side, size=(n_nodes, 2))
+    peaks = gen.uniform(0.2 * side, 0.8 * side, size=(n_peaks, 2))
+    heights = gen.uniform(0.4 * side, 0.9 * side, size=n_peaks)
+    widths = gen.uniform(0.15 * side, 0.35 * side, size=n_peaks)
+    # Height field: superposition of radial Gaussians, vectorized over
+    # (nodes, peaks).
+    d2 = ((xy[:, None, :] - peaks[None, :, :]) ** 2).sum(axis=2)
+    z = (heights[None, :] * np.exp(-d2 / (2.0 * widths[None, :] ** 2))).max(axis=1)
+    z = z + gen.normal(0.0, roughness * side * 0.05, size=n_nodes)
+    z = np.clip(z, 0.0, side)
+    positions = np.column_stack([xy, z])
+    top = int(np.argmax(z))
+    bs = tuple(positions[top] + np.array([0.0, 0.0, min(5.0, side * 0.02)]))
+    return NodeArray(positions, initial_energy), BaseStation(bs)
+
+
+def underwater_column(
+    n_nodes: int,
+    side: float,
+    initial_energy,
+    rng: np.random.Generator | int | None = None,
+    surface_bias: float = 2.0,
+) -> tuple[NodeArray, BaseStation]:
+    """Underwater monitoring volume with a surface sink.
+
+    Depth (z) follows a Beta-like density biased toward the surface —
+    typical of underwater WSN deployments where instruments cluster in
+    the photic zone — and the BS is a surface buoy at the footprint
+    centre (the QELAR/HyDRO setting the paper cites).
+    """
+    if surface_bias <= 0.0:
+        raise ValueError("surface_bias must be positive")
+    gen = _rng(rng)
+    xy = gen.uniform(0.0, side, size=(n_nodes, 2))
+    depth_frac = gen.beta(1.0, surface_bias, size=n_nodes)
+    z = side * (1.0 - depth_frac)  # z = side is the surface
+    positions = np.column_stack([xy, z])
+    bs = (side / 2.0, side / 2.0, side)
+    return NodeArray(positions, initial_energy), BaseStation(bs)
+
+
+def from_positions(
+    positions: np.ndarray,
+    initial_energy,
+    bs_position: tuple[float, float, float],
+) -> tuple[NodeArray, BaseStation]:
+    """Wrap externally supplied coordinates (the §5.3 dataset path)."""
+    return NodeArray(positions, initial_energy), BaseStation(tuple(bs_position))
+
+
+def heterogeneous_energies(
+    config: DeploymentConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-node initial energies under DEEC's two-level heterogeneity:
+    a fraction ``m = advanced_fraction`` of nodes carries
+    ``(1 + a) * E0`` with ``a = advanced_factor`` (Qing et al. 2006)."""
+    energies = np.full(config.n_nodes, config.initial_energy)
+    n_adv = int(round(config.advanced_fraction * config.n_nodes))
+    if n_adv and config.advanced_factor > 0.0:
+        advanced = rng.choice(config.n_nodes, size=n_adv, replace=False)
+        energies[advanced] *= 1.0 + config.advanced_factor
+    return energies
+
+
+def deploy(
+    config: DeploymentConfig, rng: np.random.Generator | int | None = None
+) -> tuple[NodeArray, BaseStation]:
+    """Materialize the deployment described by ``config``: a uniform
+    cube, homogeneous by default, with DEEC's advanced-node
+    heterogeneity when configured."""
+    gen = _rng(rng)
+    nodes, bs = uniform_cube(
+        n_nodes=config.n_nodes,
+        side=config.side,
+        initial_energy=config.initial_energy,
+        rng=gen,
+        bs_position=config.bs,
+    )
+    if config.advanced_fraction > 0.0 and config.advanced_factor > 0.0:
+        energies = heterogeneous_energies(config, gen)
+        nodes = NodeArray(nodes.positions, energies)
+    return nodes, bs

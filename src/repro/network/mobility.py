@@ -1,0 +1,195 @@
+"""Node mobility models.
+
+The paper's stated reason for round-based re-election is mobility: "As a
+result of the mobility of wireless sensor networks, DEEC algorithm is
+conducted through successive rounds to dynamically select nodes..."
+(§3.1).  Its evaluation keeps nodes static, so mobility here is an
+*extension*: two standard models, applied by the engine between rounds,
+with positions clamped to the deployment volume.
+
+* :class:`RandomWaypoint` — each node picks a uniform waypoint, moves
+  toward it at a per-node speed, pauses, repeats.  The classic ad-hoc
+  evaluation model.
+* :class:`GaussMarkov` — temporally correlated velocity
+  (``v' = a v + (1 - a) v_mean + sigma sqrt(1 - a^2) w``), which avoids
+  random-waypoint's sharp turns; suited to drifting underwater nodes.
+
+Both are vectorized over the population and draw from a dedicated
+generator stream so mobility never perturbs traffic or channel draws.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MobilityModel", "RandomWaypoint", "GaussMarkov", "MobilityConfig",
+           "build_mobility"]
+
+
+@dataclass(frozen=True)
+class MobilityConfig:
+    """Declarative mobility selection for :class:`SimulationConfig`.
+
+    Attributes
+    ----------
+    model:
+        ``"random_waypoint"`` or ``"gauss_markov"``.
+    speed:
+        Mean node speed in meters per *round*.
+    """
+
+    model: str = "random_waypoint"
+    speed: float = 5.0
+    #: Random-waypoint pause, in rounds, after reaching a waypoint.
+    pause_rounds: int = 0
+    #: Gauss-Markov memory parameter in [0, 1): 0 = Brownian, ->1 =
+    #: near-constant velocity.
+    memory: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.model not in ("random_waypoint", "gauss_markov"):
+            raise ValueError("model must be 'random_waypoint' or 'gauss_markov'")
+        if self.speed < 0.0:
+            raise ValueError("speed must be >= 0")
+        if self.pause_rounds < 0:
+            raise ValueError("pause_rounds must be >= 0")
+        if not 0.0 <= self.memory < 1.0:
+            raise ValueError("memory must lie in [0, 1)")
+
+
+class MobilityModel(abc.ABC):
+    """One step of motion per simulation round."""
+
+    def __init__(self, side: float, rng: np.random.Generator) -> None:
+        if side <= 0.0:
+            raise ValueError("side must be positive")
+        self.side = side
+        self.rng = rng
+
+    @abc.abstractmethod
+    def step(self, positions: np.ndarray, moving: np.ndarray) -> np.ndarray:
+        """Return updated positions.
+
+        Parameters
+        ----------
+        positions:
+            Current ``(N, 3)`` coordinates (not mutated).
+        moving:
+            Boolean mask of nodes allowed to move (dead nodes hold
+            their last position).
+        """
+
+    def _clamp(self, positions: np.ndarray) -> np.ndarray:
+        return np.clip(positions, 0.0, self.side)
+
+
+class RandomWaypoint(MobilityModel):
+    """Classic random-waypoint with per-node speeds U(0.5, 1.5)*speed."""
+
+    def __init__(
+        self,
+        side: float,
+        rng: np.random.Generator,
+        speed: float = 5.0,
+        pause_rounds: int = 0,
+    ) -> None:
+        super().__init__(side, rng)
+        if speed < 0.0:
+            raise ValueError("speed must be >= 0")
+        self.speed = speed
+        self.pause_rounds = pause_rounds
+        self._targets: np.ndarray | None = None
+        self._speeds: np.ndarray | None = None
+        self._pause_left: np.ndarray | None = None
+
+    def _init_state(self, n: int) -> None:
+        self._targets = self.rng.uniform(0.0, self.side, size=(n, 3))
+        self._speeds = self.speed * self.rng.uniform(0.5, 1.5, size=n)
+        self._pause_left = np.zeros(n, dtype=np.int64)
+
+    def step(self, positions: np.ndarray, moving: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.float64)
+        n = positions.shape[0]
+        if self._targets is None:
+            self._init_state(n)
+        out = positions.copy()
+        delta = self._targets - positions
+        dist = np.linalg.norm(delta, axis=1)
+        paused = self._pause_left > 0
+        self._pause_left[paused] -= 1
+        active = moving & ~paused
+        # Arrivals: pick a new waypoint (and optionally pause).
+        arrived = active & (dist <= self._speeds)
+        if arrived.any():
+            out[arrived] = self._targets[arrived]
+            idx = np.flatnonzero(arrived)
+            self._targets[idx] = self.rng.uniform(0.0, self.side, size=(idx.size, 3))
+            self._speeds[idx] = self.speed * self.rng.uniform(0.5, 1.5, size=idx.size)
+            self._pause_left[idx] = self.pause_rounds
+        # Cruisers: advance along the bearing.
+        cruising = active & ~arrived & (dist > 0)
+        if cruising.any():
+            step = (
+                delta[cruising]
+                / dist[cruising, None]
+                * self._speeds[cruising, None]
+            )
+            out[cruising] = positions[cruising] + step
+        return self._clamp(out)
+
+
+class GaussMarkov(MobilityModel):
+    """Temporally correlated velocities; reflects at the boundary."""
+
+    def __init__(
+        self,
+        side: float,
+        rng: np.random.Generator,
+        speed: float = 5.0,
+        memory: float = 0.75,
+    ) -> None:
+        super().__init__(side, rng)
+        if speed < 0.0:
+            raise ValueError("speed must be >= 0")
+        if not 0.0 <= memory < 1.0:
+            raise ValueError("memory must lie in [0, 1)")
+        self.speed = speed
+        self.memory = memory
+        self._velocity: np.ndarray | None = None
+
+    def step(self, positions: np.ndarray, moving: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.float64)
+        n = positions.shape[0]
+        if self._velocity is None:
+            self._velocity = self.rng.normal(
+                0.0, self.speed / np.sqrt(3.0), size=(n, 3)
+            )
+        a = self.memory
+        sigma = self.speed / np.sqrt(3.0)
+        noise = self.rng.normal(0.0, sigma * np.sqrt(1 - a * a), size=(n, 3))
+        self._velocity = a * self._velocity + noise
+        out = positions.copy()
+        out[moving] += self._velocity[moving]
+        # Reflect at the walls, flipping the offending velocity axis.
+        for axis in range(3):
+            low = out[:, axis] < 0.0
+            high = out[:, axis] > self.side
+            out[low, axis] = -out[low, axis]
+            out[high, axis] = 2 * self.side - out[high, axis]
+            flip = low | high
+            self._velocity[flip, axis] = -self._velocity[flip, axis]
+        return self._clamp(out)
+
+
+def build_mobility(
+    config: MobilityConfig, side: float, rng: np.random.Generator
+) -> MobilityModel:
+    """Instantiate the model a :class:`MobilityConfig` describes."""
+    if config.model == "random_waypoint":
+        return RandomWaypoint(
+            side, rng, speed=config.speed, pause_rounds=config.pause_rounds
+        )
+    return GaussMarkov(side, rng, speed=config.speed, memory=config.memory)

@@ -1,0 +1,106 @@
+"""Finite FIFO buffers at cluster heads.
+
+Paper §5.2 attributes packet loss to "the long queue at cluster heads"
+under congestion: cluster heads have limited storage caches, and when
+the offered load exceeds the service rate, arriving packets are
+discarded.  This module implements that queueing substrate: a bounded
+FIFO per cluster head, slot-based service, and latency accounting on
+the queued :class:`~repro.network.packet.PacketRecord` rows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .packet import PacketRecord, PacketStatus
+
+__all__ = ["CHQueue", "QueueBank"]
+
+
+class CHQueue:
+    """Bounded FIFO at one cluster head.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of queued packets; an arrival beyond capacity is
+        dropped (tail drop, matching the paper's "discarding more
+        packets" under long queues).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._q: deque[PacketRecord] = deque()
+        self.drops = 0
+        self.peak_length = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._q) >= self.capacity
+
+    def offer(self, packet: PacketRecord) -> bool:
+        """Enqueue ``packet``; returns False (and marks it dropped) when
+        the buffer is full."""
+        if self.is_full:
+            packet.status = PacketStatus.DROPPED_QUEUE
+            self.drops += 1
+            return False
+        self._q.append(packet)
+        self.peak_length = max(self.peak_length, len(self._q))
+        return True
+
+    def serve(self, max_packets: int) -> list[PacketRecord]:
+        """Dequeue up to ``max_packets`` in FIFO order."""
+        if max_packets < 0:
+            raise ValueError("max_packets must be >= 0")
+        out: list[PacketRecord] = []
+        while self._q and len(out) < max_packets:
+            out.append(self._q.popleft())
+        return out
+
+    def drain(self) -> list[PacketRecord]:
+        """Remove and return every queued packet (end-of-round flush)."""
+        out = list(self._q)
+        self._q.clear()
+        return out
+
+
+class QueueBank:
+    """The set of CH queues for one round, keyed by cluster-head index.
+
+    Created fresh each round because cluster membership rotates; drop
+    counters are rolled up into the round's packet stats before the
+    bank is discarded.
+    """
+
+    def __init__(self, heads, capacity: int) -> None:
+        self.capacity = capacity
+        self._queues: dict[int, CHQueue] = {int(h): CHQueue(capacity) for h in heads}
+
+    def __contains__(self, head: int) -> bool:
+        return int(head) in self._queues
+
+    def __getitem__(self, head: int) -> CHQueue:
+        return self._queues[int(head)]
+
+    def queues(self):
+        return self._queues.items()
+
+    @property
+    def total_drops(self) -> int:
+        return sum(q.drops for q in self._queues.values())
+
+    @property
+    def total_queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def queue_length(self, head: int) -> int:
+        """Current backlog at ``head`` (0 for unknown heads, so routing
+        code can query optimistically)."""
+        q = self._queues.get(int(head))
+        return len(q) if q is not None else 0

@@ -1,0 +1,81 @@
+"""Process-pool execution of embarrassingly parallel experiment sweeps.
+
+A sweep is a grid of independent simulation cells; this module fans
+them out over a :class:`concurrent.futures.ProcessPoolExecutor` (the
+natural Python analogue of the MPI fan-out pattern in the HPC guides:
+no shared state, explicit task messages, deterministic per-task RNG).
+
+Design notes
+------------
+* Tasks must be *picklable*: we ship (callable, args) pairs, so sweep
+  callables are defined at module top level.
+* Worker count defaults to ``os.cpu_count() - 1`` (leave one core for
+  the parent), and the pool degrades gracefully to serial execution
+  when only one task or one core is available — which also keeps unit
+  tests fast and debuggable.
+* Results come back in *submission order*, not completion order, so a
+  sweep's output table is deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["run_tasks", "default_workers"]
+
+
+def default_workers(max_workers: int | None = None) -> int:
+    """Resolve a worker count: explicit value, else cpu_count - 1."""
+    if max_workers is not None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        return max_workers
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _call(task: tuple[Callable[..., Any], tuple]) -> Any:
+    fn, args = task
+    return fn(*args)
+
+
+def run_tasks(
+    fn: Callable[..., Any],
+    argtuples: Sequence[tuple] | Iterable[tuple],
+    max_workers: int | None = None,
+    serial: bool = False,
+    chunksize: int = 1,
+) -> list[Any]:
+    """Execute ``fn(*args)`` for every tuple in ``argtuples``.
+
+    Parameters
+    ----------
+    fn:
+        Top-level (picklable) callable.
+    argtuples:
+        One tuple of positional arguments per task.
+    max_workers:
+        Pool size; ``None`` uses cpu_count - 1.
+    serial:
+        Force in-process execution (useful under debuggers, in tests,
+        and on single-core machines).
+    chunksize:
+        Tasks per worker dispatch; raise for many tiny tasks to
+        amortise IPC (the usual map-chunking tradeoff).
+
+    Returns
+    -------
+    list
+        Results in the order of ``argtuples``.
+    """
+    tasks = [(fn, tuple(args)) for args in argtuples]
+    if not tasks:
+        return []
+    workers = default_workers(max_workers)
+    if serial or workers == 1 or len(tasks) == 1:
+        return [_call(t) for t in tasks]
+    if chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(_call, tasks, chunksize=chunksize))

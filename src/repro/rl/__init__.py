@@ -1,0 +1,24 @@
+"""Reinforcement-learning substrate: finite MDPs, tabular Q-learning."""
+
+from .agent import EpsilonSchedule, QLearningAgent, train_on_mdp
+from .convergence import ConvergenceTracker
+from .mdp import FiniteMDP, greedy_policy, q_from_v, value_iteration
+from .policies import EpsilonGreedyPolicy, GreedyPolicy, Policy, SoftmaxPolicy
+from .qtable import QTable, VTable
+
+__all__ = [
+    "ConvergenceTracker",
+    "EpsilonSchedule",
+    "EpsilonGreedyPolicy",
+    "FiniteMDP",
+    "GreedyPolicy",
+    "Policy",
+    "SoftmaxPolicy",
+    "QLearningAgent",
+    "QTable",
+    "VTable",
+    "greedy_policy",
+    "q_from_v",
+    "train_on_mdp",
+    "value_iteration",
+]

@@ -1,0 +1,123 @@
+"""Generic tabular Q-learning agent (sampled, off-policy TD).
+
+QLEC's Algorithm 4 performs *model-based* expected backups (it "computes
+the Q values of all the actions based on [its] own knowledge ... rather
+than take real actions"), which live in :mod:`repro.core.routing`.
+This module provides the classical sampled Q-learning agent of
+Watkins — the algorithm §3.3 introduces — used (a) as an ablation
+variant of the routing layer and (b) to validate the MDP substrate:
+on any finite MDP its Q table must converge to the value-iteration
+fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mdp import FiniteMDP
+from .qtable import QTable
+
+__all__ = ["QLearningAgent", "EpsilonSchedule", "train_on_mdp"]
+
+
+@dataclass(frozen=True)
+class EpsilonSchedule:
+    """Linearly decaying epsilon-greedy exploration schedule."""
+
+    start: float = 1.0
+    end: float = 0.05
+    decay_steps: int = 10_000
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.end <= self.start <= 1.0:
+            raise ValueError("need 0 <= end <= start <= 1")
+        if self.decay_steps < 1:
+            raise ValueError("decay_steps must be >= 1")
+
+    def value(self, step: int) -> float:
+        frac = min(max(step, 0) / self.decay_steps, 1.0)
+        return self.start + frac * (self.end - self.start)
+
+
+class QLearningAgent:
+    """Off-policy TD(0) control: ``Q(s,a) += lr * (r + gamma*max Q(s',.) - Q(s,a))``."""
+
+    def __init__(
+        self,
+        n_states: int,
+        n_actions: int,
+        gamma: float,
+        learning_rate: float = 0.1,
+        epsilon: EpsilonSchedule | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must lie in [0, 1]")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must lie in (0, 1]")
+        self.q = QTable(n_states, n_actions)
+        self.gamma = gamma
+        self.learning_rate = learning_rate
+        self.epsilon = epsilon if epsilon is not None else EpsilonSchedule()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.steps = 0
+
+    def select_action(self, state: int) -> int:
+        """Epsilon-greedy draw under the current schedule."""
+        eps = self.epsilon.value(self.steps)
+        if self.rng.random() < eps:
+            return int(self.rng.integers(self.q.n_actions))
+        return self.q.best_action(state, self.rng)
+
+    def update(self, state: int, action: int, reward: float, next_state: int) -> float:
+        """One TD backup; returns the absolute TD error."""
+        target = reward + self.gamma * float(self.q.row(next_state).max())
+        old = self.q.get(state, action)
+        new = old + self.learning_rate * (target - old)
+        self.q.set(state, action, new)
+        self.steps += 1
+        return abs(target - old)
+
+    def greedy_policy(self) -> np.ndarray:
+        return self.q.values.argmax(axis=1)
+
+
+def train_on_mdp(
+    agent: QLearningAgent,
+    mdp: FiniteMDP,
+    episodes: int,
+    max_steps: int = 100,
+    start_states: np.ndarray | None = None,
+) -> np.ndarray:
+    """Run episodic Q-learning on an explicit MDP.
+
+    Episodes start from ``start_states`` (default: uniform over
+    non-terminal states) and terminate on absorbing states or after
+    ``max_steps``.  Returns the per-episode summed TD error, a cheap
+    convergence signal for tests.
+    """
+    if episodes < 1:
+        raise ValueError("episodes must be >= 1")
+    terminal = (
+        mdp.terminal
+        if mdp.terminal is not None
+        else np.zeros(mdp.n_states, dtype=bool)
+    )
+    candidates = np.flatnonzero(~terminal)
+    if start_states is not None:
+        candidates = np.asarray(start_states)
+    errors = np.zeros(episodes)
+    for ep in range(episodes):
+        s = int(agent.rng.choice(candidates))
+        total = 0.0
+        for _ in range(max_steps):
+            a = agent.select_action(s)
+            s_next, r = mdp.sample_step(s, a, agent.rng)
+            total += agent.update(s, a, r, s_next)
+            s = s_next
+            if terminal[s]:
+                break
+        errors[ep] = total
+    return errors

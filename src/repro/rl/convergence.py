@@ -1,0 +1,72 @@
+"""Convergence tracking for value tables.
+
+The paper's complexity result (Lemma 3, Theorem 3) is phrased in terms
+of X — "the number of updates Q-learning needs to converge".  This
+module measures X: it watches a value table and reports when successive
+sweeps change by less than a tolerance, and for how long.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ConvergenceTracker"]
+
+
+class ConvergenceTracker:
+    """Detects sup-norm convergence of a repeatedly-updated table.
+
+    Parameters
+    ----------
+    tol:
+        Convergence is declared when the sup-norm change between
+        consecutive observed snapshots stays below ``tol`` for
+        ``patience`` consecutive observations.
+    patience:
+        Number of consecutive sub-tolerance deltas required.
+    """
+
+    def __init__(self, tol: float = 1e-6, patience: int = 1) -> None:
+        if tol <= 0.0:
+            raise ValueError("tol must be positive")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.tol = tol
+        self.patience = patience
+        self._prev: np.ndarray | None = None
+        self._streak = 0
+        self.observations = 0
+        self.converged_at: int | None = None
+        self.deltas: list[float] = []
+
+    @property
+    def converged(self) -> bool:
+        return self.converged_at is not None
+
+    def observe(self, table: np.ndarray) -> float:
+        """Record a snapshot; returns the sup-norm delta vs the previous
+        one (inf for the first observation)."""
+        snap = np.asarray(table, dtype=np.float64).copy()
+        self.observations += 1
+        if self._prev is None:
+            self._prev = snap
+            self.deltas.append(float("inf"))
+            return float("inf")
+        delta = float(np.max(np.abs(snap - self._prev)))
+        self._prev = snap
+        self.deltas.append(delta)
+        if delta < self.tol:
+            self._streak += 1
+            if self._streak >= self.patience and self.converged_at is None:
+                self.converged_at = self.observations
+        else:
+            self._streak = 0
+            self.converged_at = None  # regression: un-declare convergence
+        return delta
+
+    def reset(self) -> None:
+        self._prev = None
+        self._streak = 0
+        self.observations = 0
+        self.converged_at = None
+        self.deltas.clear()

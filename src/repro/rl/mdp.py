@@ -1,0 +1,127 @@
+"""Finite Markov Decision Processes and exact solvers.
+
+Paper §3.3 frames the routing choice as a finite MDP: state-transition
+probabilities ``P^a_{ss'}`` (Eq. 8), expected rewards ``R^a_{ss'}``
+(Eq. 9), discounted return (the G_t series), and the Bellman optimality
+equations (Eqs. 13-15).  This module implements that abstract machinery
+exactly — tabular transition/reward tensors, value iteration, and
+Q-value extraction — independent of the WSN application, so the
+Q-learning agent can be validated against a ground-truth solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FiniteMDP", "value_iteration", "q_from_v", "greedy_policy"]
+
+
+@dataclass(frozen=True)
+class FiniteMDP:
+    """Tabular MDP with ``S`` states and ``A`` actions.
+
+    Attributes
+    ----------
+    transitions:
+        ``(A, S, S)`` tensor; ``transitions[a, s, s']`` is
+        ``P^a_{ss'}`` of Eq. (8).  Rows must sum to 1.
+    rewards:
+        ``(A, S, S)`` tensor; ``rewards[a, s, s']`` is ``R^a_{ss'}`` of
+        Eq. (9).
+    gamma:
+        Discount rate (paper: typically within [0.5, 0.99]).
+    terminal:
+        Optional boolean ``(S,)`` mask of absorbing states whose value
+        is pinned to zero (e.g. the base station).
+    """
+
+    transitions: np.ndarray
+    rewards: np.ndarray
+    gamma: float
+    terminal: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.transitions, dtype=np.float64)
+        r = np.asarray(self.rewards, dtype=np.float64)
+        if t.ndim != 3 or t.shape[1] != t.shape[2]:
+            raise ValueError("transitions must have shape (A, S, S)")
+        if r.shape != t.shape:
+            raise ValueError("rewards must match transitions' shape")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError("gamma must lie in [0, 1]")
+        if np.any(t < -1e-12):
+            raise ValueError("transition probabilities must be non-negative")
+        row_sums = t.sum(axis=2)
+        if not np.allclose(row_sums, 1.0, atol=1e-9):
+            raise ValueError("each transitions[a, s, :] must sum to 1")
+        object.__setattr__(self, "transitions", t)
+        object.__setattr__(self, "rewards", r)
+        if self.terminal is not None:
+            term = np.asarray(self.terminal, dtype=bool)
+            if term.shape != (self.n_states,):
+                raise ValueError("terminal mask must have shape (S,)")
+            object.__setattr__(self, "terminal", term)
+
+    @property
+    def n_actions(self) -> int:
+        return self.transitions.shape[0]
+
+    @property
+    def n_states(self) -> int:
+        return self.transitions.shape[1]
+
+    def expected_reward(self) -> np.ndarray:
+        """``(A, S)`` expected one-step reward, Eq. (10):
+        ``R_t = sum_{s'} P^a_{ss'} R^a_{ss'}``."""
+        return np.einsum("ast,ast->as", self.transitions, self.rewards)
+
+    def sample_step(
+        self, state: int, action: int, rng: np.random.Generator
+    ) -> tuple[int, float]:
+        """Draw one environment transition ``(s', r)`` for the sampled
+        TD variant of Q-learning."""
+        p = self.transitions[action, state]
+        next_state = int(rng.choice(self.n_states, p=p))
+        return next_state, float(self.rewards[action, state, next_state])
+
+
+def value_iteration(
+    mdp: FiniteMDP, tol: float = 1e-10, max_iter: int = 100_000
+) -> tuple[np.ndarray, int]:
+    """Solve Eq. (13) by fixed-point iteration.
+
+    Returns ``(V*, iterations)``.  With gamma < 1 this is a gamma-
+    contraction and converges geometrically; with gamma == 1 it is only
+    guaranteed on proper (absorbing) MDPs and guarded by ``max_iter``.
+    """
+    if tol <= 0.0:
+        raise ValueError("tol must be positive")
+    exp_r = mdp.expected_reward()  # (A, S)
+    v = np.zeros(mdp.n_states)
+    for it in range(1, max_iter + 1):
+        # Q(a, s) = E[r] + gamma * sum_{s'} P^a_{ss'} V(s')
+        q = exp_r + mdp.gamma * np.einsum("ast,t->as", mdp.transitions, v)
+        v_new = q.max(axis=0)
+        if mdp.terminal is not None:
+            v_new = np.where(mdp.terminal, 0.0, v_new)
+        if np.max(np.abs(v_new - v)) < tol:
+            return v_new, it
+        v = v_new
+    return v, max_iter
+
+
+def q_from_v(mdp: FiniteMDP, v: np.ndarray) -> np.ndarray:
+    """``(A, S)`` action values implied by a state-value table (Eq. 15)."""
+    v = np.asarray(v, dtype=np.float64)
+    if v.shape != (mdp.n_states,):
+        raise ValueError("v must have shape (S,)")
+    return mdp.expected_reward() + mdp.gamma * np.einsum(
+        "ast,t->as", mdp.transitions, v
+    )
+
+
+def greedy_policy(mdp: FiniteMDP, v: np.ndarray) -> np.ndarray:
+    """Deterministic argmax policy over the Q table (Eq. 14)."""
+    return q_from_v(mdp, v).argmax(axis=0)

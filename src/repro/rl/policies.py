@@ -1,0 +1,96 @@
+"""Action-selection policies over Q values.
+
+The paper's Algorithm 4 is purely greedy (argmax Q).  Exploration
+variants are standard practice in Q-routing, so the router accepts any
+of these policies; all are pure functions of a Q vector plus a
+generator, making them unit-testable in isolation.
+
+* :class:`GreedyPolicy` — argmax with uniform random tie-breaking (the
+  paper's rule);
+* :class:`EpsilonGreedyPolicy` — explore uniformly with probability
+  epsilon;
+* :class:`SoftmaxPolicy` — Boltzmann exploration,
+  ``P(a) ∝ exp(Q(a) / tau)``, numerically stabilised.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Policy", "GreedyPolicy", "EpsilonGreedyPolicy", "SoftmaxPolicy"]
+
+
+class Policy(abc.ABC):
+    """Maps a Q vector to a chosen action index."""
+
+    @abc.abstractmethod
+    def select(self, q: np.ndarray, rng: np.random.Generator | None = None) -> int:
+        """Return the index of the chosen action.
+
+        ``rng`` may be None, in which case the policy must behave
+        deterministically (greedy policies take the first maximiser;
+        stochastic policies fall back to greedy).
+        """
+
+    @staticmethod
+    def _greedy(q: np.ndarray, rng: np.random.Generator | None) -> int:
+        best = np.flatnonzero(q == q.max())
+        if best.size == 1 or rng is None:
+            return int(best[0])
+        return int(rng.choice(best))
+
+
+class GreedyPolicy(Policy):
+    """argmax Q with random tie-breaking — Algorithm 4's rule."""
+
+    def select(self, q: np.ndarray, rng: np.random.Generator | None = None) -> int:
+        q = np.asarray(q, dtype=np.float64)
+        if q.size == 0:
+            raise ValueError("empty action set")
+        return self._greedy(q, rng)
+
+
+class EpsilonGreedyPolicy(Policy):
+    """Uniform exploration with probability epsilon, else greedy."""
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        self.epsilon = epsilon
+
+    def select(self, q: np.ndarray, rng: np.random.Generator | None = None) -> int:
+        q = np.asarray(q, dtype=np.float64)
+        if q.size == 0:
+            raise ValueError("empty action set")
+        if rng is not None and self.epsilon > 0.0 and rng.random() < self.epsilon:
+            return int(rng.integers(q.size))
+        return self._greedy(q, rng)
+
+
+class SoftmaxPolicy(Policy):
+    """Boltzmann exploration with temperature tau.
+
+    tau -> 0 approaches greedy; large tau approaches uniform.  Uses the
+    max-shifted exponent for numerical stability.
+    """
+
+    def __init__(self, temperature: float) -> None:
+        if temperature <= 0.0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def probabilities(self, q: np.ndarray) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        if q.size == 0:
+            raise ValueError("empty action set")
+        z = (q - q.max()) / self.temperature
+        p = np.exp(z)
+        return p / p.sum()
+
+    def select(self, q: np.ndarray, rng: np.random.Generator | None = None) -> int:
+        if rng is None:
+            return self._greedy(np.asarray(q, dtype=np.float64), rng)
+        p = self.probabilities(q)
+        return int(rng.choice(p.size, p=p))

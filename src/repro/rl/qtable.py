@@ -1,0 +1,121 @@
+"""Tabular value storage for the QLEC routing layer.
+
+The paper ("Analysis of QLEC", Lemma 3) describes "a matrix to store
+the V values of each node in the network"; each Send-Data call updates
+k+1 entries of it.  :class:`VTable` is that matrix: one V value per
+network entity (every node plus the base station), with the update
+count exposed so the O(kX) complexity claim can be measured directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VTable", "QTable"]
+
+
+class VTable:
+    """State-value table over the N nodes plus the base station.
+
+    Index ``n`` (== number of nodes) addresses the base station.  All
+    values initialise to zero, per §4.2 ("At the beginning, all the V
+    values and Q values are initialized to 0").
+    """
+
+    BS_OFFSET = 1
+
+    def __init__(self, n_nodes: int, bs_value: float = 0.0) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self._v = np.zeros(n_nodes + self.BS_OFFSET, dtype=np.float64)
+        self._v[n_nodes] = bs_value
+        self.n_nodes = n_nodes
+        #: Total number of single-entry updates performed — the "X" of
+        #: the paper's O(kX) running-time bound.
+        self.update_count = 0
+
+    @property
+    def bs_index(self) -> int:
+        return self.n_nodes
+
+    @property
+    def values(self) -> np.ndarray:
+        v = self._v.view()
+        v.flags.writeable = False
+        return v
+
+    def __getitem__(self, i: int) -> float:
+        return float(self._v[i])
+
+    def __setitem__(self, i: int, value: float) -> None:
+        self._v[i] = value
+        self.update_count += 1
+
+    def get_many(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorized gather (used by the Q backup over all CHs)."""
+        return self._v[np.asarray(idx)]
+
+    def reset(self) -> None:
+        self._v[:] = 0.0
+        self.update_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VTable(n={self.n_nodes}, updates={self.update_count}, "
+            f"range=[{self._v.min():.4g}, {self._v.max():.4g}])"
+        )
+
+
+class QTable:
+    """Dense state-action value table for the generic learning agent.
+
+    Used by the sampled-TD Q-learning agent (:mod:`repro.rl.agent`) and
+    by tests that cross-check against value iteration.  The WSN routing
+    layer itself recomputes Q on the fly from :class:`VTable` (the
+    paper's Algorithm 4 does the same), so this class stays generic.
+    """
+
+    def __init__(self, n_states: int, n_actions: int, initial: float = 0.0) -> None:
+        if n_states < 1 or n_actions < 1:
+            raise ValueError("n_states and n_actions must be >= 1")
+        self._q = np.full((n_states, n_actions), initial, dtype=np.float64)
+        self.update_count = 0
+
+    @property
+    def values(self) -> np.ndarray:
+        v = self._q.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def n_states(self) -> int:
+        return self._q.shape[0]
+
+    @property
+    def n_actions(self) -> int:
+        return self._q.shape[1]
+
+    def get(self, state: int, action: int) -> float:
+        return float(self._q[state, action])
+
+    def row(self, state: int) -> np.ndarray:
+        v = self._q[state].view()
+        v.flags.writeable = False
+        return v
+
+    def set(self, state: int, action: int, value: float) -> None:
+        self._q[state, action] = value
+        self.update_count += 1
+
+    def best_action(self, state: int, rng: np.random.Generator | None = None) -> int:
+        """Greedy action with uniform random tie-breaking (ties are
+        common right after zero initialisation)."""
+        row = self._q[state]
+        best = np.flatnonzero(row == row.max())
+        if best.size == 1 or rng is None:
+            return int(best[0])
+        return int(rng.choice(best))
+
+    def v(self) -> np.ndarray:
+        """Implied state values, ``V(s) = max_a Q(s, a)`` (Eq. 14)."""
+        return self._q.max(axis=1)

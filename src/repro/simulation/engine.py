@@ -1,0 +1,450 @@
+"""Round-based WSN simulation engine.
+
+Implements the paper's operational model (Algorithm 1's outer loop plus
+the §5 evaluation machinery):
+
+per round r:
+  1. the protocol selects cluster heads;
+  2. slotted data transmission — non-CH nodes generate Poisson traffic
+     and forward head-of-line packets to the relay the protocol picks;
+     the lossy channel and finite CH buffers drop packets; cluster
+     heads service their queues at a bounded rate and fuse serviced
+     payloads;
+  3. end of round — every head compresses its fused payload (Table 2's
+     50 % ratio), uplinks it toward the BS along the protocol's uplink
+     path (direct for QLEC/k-means, hierarchy hops for FCM), and the
+     protocol's round-end hook runs (QLEC's head V backup).
+
+Energy is charged through the vectorized ledger at every radio
+operation; ACK outcomes feed the link estimator that QLEC's Q backup
+consumes.  The engine is protocol-agnostic: every algorithm in Fig. 3
+runs on byte-identical traffic, channel draws, and deployments for a
+given master seed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import SimulationConfig
+
+if TYPE_CHECKING:  # avoid a runtime cycle with baselines.base
+    from ..baselines.base import ClusteringProtocol
+from ..network.node import BaseStation, NodeArray
+from ..network.packet import PacketRecord, PacketStats, PacketStatus
+from ..network.queueing import QueueBank
+from .metrics import RoundStats, SimulationResult
+from .state import NetworkState
+from .trace import TraceRecorder
+from .traffic import PoissonTraffic
+
+__all__ = ["SimulationEngine", "run_simulation"]
+
+
+class SimulationEngine:
+    """Drives one protocol over one deployment for R rounds.
+
+    Parameters
+    ----------
+    config:
+        Scenario description (Table 2 via :func:`repro.config.paper_config`).
+    protocol:
+        A fresh :class:`~repro.baselines.base.ClusteringProtocol`.
+    nodes, bs, initial_energy:
+        Optional pre-built deployment (dataset experiments).
+    stop_on_death:
+        When True the run ends at the first node death (the lifespan
+        experiment); otherwise the death round is recorded and the run
+        continues (PDR/energy experiments, which "lower the energy
+        death line" per §5.1).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        protocol: "ClusteringProtocol",
+        nodes: NodeArray | None = None,
+        bs: BaseStation | None = None,
+        rng: np.random.Generator | None = None,
+        initial_energy: np.ndarray | None = None,
+        stop_on_death: bool = False,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.config = config
+        self.protocol = protocol
+        self.state = NetworkState(
+            config, nodes=nodes, bs=bs, rng=rng, initial_energy=initial_energy
+        )
+        self.traffic = PoissonTraffic(
+            config.traffic, self.state.n, self.state.traffic_rng
+        )
+        self.stop_on_death = stop_on_death
+        self._buffers: list[deque[PacketRecord]] = [
+            deque() for _ in range(self.state.n)
+        ]
+        self._first_death_round: int | None = None
+        self._rounds: list[RoundStats] = []
+        self._totals = PacketStats()
+        self.trace = trace
+        self.mobility = None
+        if config.mobility is not None:
+            from ..network.mobility import build_mobility
+
+            self.mobility = build_mobility(
+                config.mobility,
+                config.deployment.side,
+                self.state.mobility_rng,
+            )
+        self.harvester = None
+        if config.harvesting is not None:
+            from ..energy.harvesting import build_harvester
+
+            self.harvester = build_harvester(
+                config.harvesting, self.state.harvest_rng
+            )
+        protocol.prepare(self.state)
+
+    # ------------------------------------------------------------------
+    # slot phases
+    # ------------------------------------------------------------------
+    def _generate(self, abs_slot: int, is_head: np.ndarray, stats: PacketStats) -> None:
+        active = self.state.ledger.alive & ~is_head
+        counts = self.traffic.arrivals(active)
+        total = int(counts.sum())
+        if total == 0:
+            return
+        stats.generated += total
+        for node in np.flatnonzero(counts):
+            buf = self._buffers[node]
+            for _ in range(int(counts[node])):
+                buf.append(PacketRecord(source=int(node), born_slot=abs_slot))
+
+    def _transmit(
+        self,
+        abs_slot: int,
+        heads: np.ndarray,
+        is_head: np.ndarray,
+        bank: QueueBank,
+        stats: PacketStats,
+    ) -> None:
+        st = self.state
+        bits = self.config.traffic.packet_bits
+        senders = np.flatnonzero(
+            st.ledger.alive
+            & ~is_head
+            & np.asarray([len(b) > 0 for b in self._buffers], dtype=bool)
+        )
+        if senders.size == 0:
+            return
+        # Randomized service order so early indices get no systematic
+        # advantage at contended queues.
+        st.engine_rng.shuffle(senders)
+        bs_budget = self.config.queue.bs_capacity_per_slot
+        hop_by_hop = getattr(self.protocol, "hop_by_hop", False)
+        max_hops = self.config.max_hops
+        for node in senders:
+            pkt = self._buffers[node].popleft()
+            if heads.size or hop_by_hop:
+                qlens = np.asarray(
+                    [bank.queue_length(int(h)) for h in heads], dtype=np.int64
+                )
+                target = int(self.protocol.choose_relay(st, int(node), heads, qlens))
+            else:
+                target = st.bs_index
+            d = st.distance(int(node), target)
+            st.ledger.discharge(int(node), st.radio.tx(bits, d), "tx")
+            target_alive = target == st.bs_index or st.ledger.is_alive(target)
+            arrived = target_alive and st.channel.attempt(d)
+            # The ACK of §4.2 confirms the packet was "successfully
+            # received AND processed": a buffer overflow at the head is
+            # a missing ACK, which is exactly the congestion signal
+            # QLEC's link estimator learns from.
+            if arrived and target != st.bs_index and target in bank:
+                st.ledger.discharge(target, st.radio.rx(bits), "rx")
+                accepted = bank[target].offer(pkt)
+                if accepted:
+                    pkt.hops += 1
+                else:
+                    stats.dropped_queue += 1
+                ack = accepted
+            elif arrived and target != st.bs_index:
+                # Store-and-forward relay through an ordinary node
+                # (hop-by-hop protocols): the packet joins the relay's
+                # own buffer and continues next slot, bounded by the
+                # TTL so routing loops cannot live forever.
+                st.ledger.discharge(target, st.radio.rx(bits), "rx")
+                pkt.hops += 1
+                if pkt.hops >= max_hops:
+                    pkt.status = PacketStatus.EXPIRED
+                    stats.expired += 1
+                    ack = False
+                else:
+                    pkt.retries = 0  # fresh ARQ budget per hop
+                    self._buffers[target].append(pkt)
+                    ack = True
+            elif arrived:
+                # Direct uplink: contends for the BS's per-slot budget
+                # for unscheduled traffic (the "burden" behind Eq. 19's
+                # penalty l).
+                if bs_budget > 0:
+                    bs_budget -= 1
+                    pkt.hops += 1
+                    pkt.status = PacketStatus.DELIVERED
+                    pkt.delivered_slot = abs_slot + 1
+                    stats.record_delivery(pkt.latency(), pkt.hops)
+                    ack = True
+                else:
+                    pkt.status = PacketStatus.DROPPED_QUEUE
+                    stats.dropped_queue += 1
+                    ack = False
+            else:
+                # Link-layer ARQ: an unacknowledged channel loss (or a
+                # silent dead relay) is retransmitted next slot, up to
+                # max_retries; a buffer-full rejection (above) is an
+                # explicit NACK and is not retried.
+                if pkt.retries < self.config.max_retries:
+                    pkt.retries += 1
+                    self._buffers[node].appendleft(pkt)
+                elif not target_alive:
+                    pkt.status = PacketStatus.DROPPED_DEAD
+                    stats.dropped_dead += 1
+                else:
+                    pkt.status = PacketStatus.DROPPED_CHANNEL
+                    stats.dropped_channel += 1
+                ack = False
+            st.link_estimator.update(int(node), target, ack)
+            self.protocol.on_transmission(st, int(node), target, ack)
+
+    def _service(
+        self,
+        abs_slot: int,
+        heads: np.ndarray,
+        bank: QueueBank,
+        fused: dict[int, list[tuple[PacketRecord, int]]],
+        stats: PacketStats,
+    ) -> None:
+        st = self.state
+        bits = self.config.traffic.packet_bits
+        rate = self.config.queue.service_rate
+        for h in heads:
+            h = int(h)
+            if not st.ledger.is_alive(h):
+                continue
+            served = bank[h].serve(rate)
+            if not served:
+                continue
+            st.ledger.discharge(h, len(served) * st.radio.da(bits), "da")
+            fused[h].extend((pkt, abs_slot + 1) for pkt in served)
+
+    # ------------------------------------------------------------------
+    def _uplink(
+        self,
+        heads: np.ndarray,
+        fused: dict[int, list[tuple[PacketRecord, int]]],
+        bank: QueueBank,
+        end_slot: int,
+        stats: PacketStats,
+    ) -> None:
+        """End-of-round fusion uplink, frame by frame along the path.
+
+        Multi-hop paths (the FCM hierarchy) spend the *intermediate*
+        head's leftover service capacity: a head that already served
+        its own cluster at full rate cannot also relay transit
+        aggregates — the congestion coupling behind the paper's
+        observation that the multi-hop scheme "discards more than 10%
+        packets when the network is congested".
+        """
+        st = self.state
+        cfg = self.config
+        bits = cfg.traffic.packet_bits
+        ratio = cfg.compression_ratio
+        total_service = cfg.queue.service_rate * cfg.traffic.slots_per_round
+        relay_budget: dict[int, int] = {
+            int(h): max(0, total_service - len(fused.get(int(h), [])))
+            for h in heads
+        }
+        for h in heads:
+            h = int(h)
+            # Unserviced backlog expires with the round (membership
+            # rotates; stale samples are not carried over).
+            for pkt in bank[h].drain():
+                pkt.status = PacketStatus.EXPIRED
+                stats.expired += 1
+            packets = fused.get(h, [])
+            if not packets:
+                continue
+            if not st.ledger.is_alive(h):
+                for pkt, _ in packets:
+                    pkt.status = PacketStatus.DROPPED_DEAD
+                    stats.dropped_dead += 1
+                continue
+            if cfg.aggregation == "perfect":
+                n_frames = 1
+            elif cfg.aggregation == "none":
+                n_frames = len(packets)
+            else:  # "ratio" — Table 2's proportional compression
+                n_frames = max(1, math.ceil(len(packets) * ratio))
+            frames: list[list[tuple[PacketRecord, int]]] = [
+                packets[i::n_frames] for i in range(n_frames)
+            ]
+            path = self.protocol.uplink_path(st, h, heads)
+            chain = [h, *[int(p) for p in path], st.bs_index]
+            surviving = frames
+            for hop_idx in range(len(chain) - 1):
+                src, dst = chain[hop_idx], chain[hop_idx + 1]
+                if not surviving:
+                    break
+                if not st.ledger.is_alive(src):
+                    for frame in surviving:
+                        for pkt, _ in frame:
+                            pkt.status = PacketStatus.DROPPED_DEAD
+                            stats.dropped_dead += 1
+                    surviving = []
+                    break
+                d = st.distance(src, dst)
+                dst_alive = dst == st.bs_index or st.ledger.is_alive(dst)
+                next_frames: list[list[tuple[PacketRecord, int]]] = []
+                for frame in surviving:
+                    st.ledger.discharge(src, st.radio.tx(bits, d), "tx")
+                    ok = dst_alive and st.channel.attempt(d)
+                    if ok and dst != st.bs_index:
+                        # Transit relay: needs leftover service capacity
+                        # at the intermediate head (missing ACK = the
+                        # relay's cache is exhausted).
+                        if relay_budget.get(dst, 0) > 0:
+                            relay_budget[dst] -= 1
+                        else:
+                            ok = False
+                            for pkt, _ in frame:
+                                pkt.status = PacketStatus.DROPPED_QUEUE
+                                stats.dropped_queue += 1
+                            st.link_estimator.update(src, dst, ok)
+                            self.protocol.on_transmission(st, src, dst, ok)
+                            continue
+                    st.link_estimator.update(src, dst, ok)
+                    self.protocol.on_transmission(st, src, dst, ok)
+                    if not ok:
+                        for pkt, _ in frame:
+                            if dst_alive:
+                                pkt.status = PacketStatus.DROPPED_CHANNEL
+                                stats.dropped_channel += 1
+                            else:
+                                pkt.status = PacketStatus.DROPPED_DEAD
+                                stats.dropped_dead += 1
+                        continue
+                    if dst != st.bs_index:
+                        st.ledger.discharge(dst, st.radio.rx(bits), "rx")
+                    next_frames.append(frame)
+                surviving = next_frames
+            # Whatever survived the whole chain reached the BS.
+            hop_count = len(chain) - 1
+            for frame in surviving:
+                for pkt, service_slot in frame:
+                    pkt.status = PacketStatus.DELIVERED
+                    pkt.delivered_slot = service_slot + hop_count
+                    stats.record_delivery(pkt.latency(), pkt.hops + hop_count)
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> RoundStats:
+        st = self.state
+        cfg = self.config
+        # Inter-round environment dynamics (extensions; both no-ops in
+        # the paper's static, battery-only evaluation).
+        if self.mobility is not None and st.round_index > 0:
+            st.update_positions(
+                self.mobility.step(st.nodes.positions, st.ledger.alive)
+            )
+        if self.harvester is not None and st.round_index > 0:
+            self.harvester.apply(
+                st.ledger, st.round_index, revive=cfg.harvesting.revive
+            )
+        energy_before = st.ledger.total_spent
+        v_before = getattr(self.protocol, "v_update_count", 0)
+
+        heads = self.protocol.validate_heads(
+            st, self.protocol.select_cluster_heads(st)
+        )
+        st.mark_cluster_heads(heads)
+        is_head = np.zeros(st.n, dtype=bool)
+        if heads.size:
+            is_head[heads] = True
+        bank = QueueBank(heads, cfg.queue.capacity)
+        fused: dict[int, list[tuple[PacketRecord, int]]] = {int(h): [] for h in heads}
+        stats = PacketStats()
+
+        slots = cfg.traffic.slots_per_round
+        base_slot = st.round_index * slots
+        for slot in range(slots):
+            abs_slot = base_slot + slot
+            self._generate(abs_slot, is_head, stats)
+            self._transmit(abs_slot, heads, is_head, bank, stats)
+            self._service(abs_slot, heads, bank, fused, stats)
+        self._uplink(heads, fused, bank, base_slot + slots, stats)
+        self.protocol.on_round_end(st, heads)
+
+        if self._first_death_round is None and st.ledger.any_dead:
+            self._first_death_round = st.round_index + 1
+
+        peaks = [q.peak_length for _, q in bank.queues()]
+        round_stats = RoundStats(
+            round_index=st.round_index,
+            n_heads=int(heads.size),
+            n_alive=st.ledger.n_alive,
+            energy_consumed=st.ledger.total_spent - energy_before,
+            packets=stats,
+            mean_queue_peak=float(np.mean(peaks)) if peaks else 0.0,
+            v_updates=getattr(self.protocol, "v_update_count", 0) - v_before,
+        )
+        self._rounds.append(round_stats)
+        self._totals.merge(stats)
+        if self.trace is not None:
+            self.trace.record(round_stats, heads, st.ledger.residual)
+        st.round_index += 1
+        return round_stats
+
+    def run(self) -> SimulationResult:
+        """Execute the full scenario and return the aggregated result."""
+        for _ in range(self.config.rounds):
+            self.run_round()
+            if self.stop_on_death and self._first_death_round is not None:
+                break
+        # Source backlog that never left its sensor expires with the run.
+        for buf in self._buffers:
+            while buf:
+                pkt = buf.popleft()
+                pkt.status = PacketStatus.EXPIRED
+                self._totals.expired += 1
+        result = SimulationResult(
+            protocol=self.protocol.name,
+            rounds_executed=len(self._rounds),
+            rounds_planned=self.config.rounds,
+            per_round=self._rounds,
+            packets=self._totals,
+            total_energy=self.state.ledger.total_spent,
+            first_death_round=self._first_death_round,
+            n_alive_final=self.state.ledger.n_alive,
+            consumption_ratio=self.state.ledger.consumption_ratio(),
+            residual_final=self.state.ledger.snapshot(),
+            positions=self.state.nodes.positions,
+            seed=self.config.seed,
+            mean_interarrival=self.config.traffic.mean_interarrival,
+            v_update_total=getattr(self.protocol, "v_update_count", 0),
+        )
+        result.validate()
+        return result
+
+
+def run_simulation(
+    config: SimulationConfig,
+    protocol: "ClusteringProtocol",
+    stop_on_death: bool = False,
+    **engine_kwargs,
+) -> SimulationResult:
+    """One-call convenience wrapper: build an engine and run it."""
+    return SimulationEngine(
+        config, protocol, stop_on_death=stop_on_death, **engine_kwargs
+    ).run()

@@ -1,0 +1,165 @@
+"""Per-round and whole-run metric collection.
+
+The paper evaluates three headline indices — packet delivery rate,
+total energy consumption, and network lifespan (Fig. 3) — plus
+transmission latency (abstract/§1) and the per-node energy-consumption
+ratio map (Fig. 4).  Everything needed to regenerate those artifacts is
+captured here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..network.packet import PacketStats
+
+__all__ = ["RoundStats", "SimulationResult"]
+
+
+@dataclass
+class RoundStats:
+    """Snapshot of one simulation round."""
+
+    round_index: int
+    n_heads: int
+    n_alive: int
+    energy_consumed: float
+    packets: PacketStats
+    mean_queue_peak: float = 0.0
+    v_updates: int = 0
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.packets.delivery_rate
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulation run."""
+
+    protocol: str
+    rounds_executed: int
+    rounds_planned: int
+    per_round: list[RoundStats]
+    packets: PacketStats
+    total_energy: float
+    #: 1-based round at which the first node crossed the death line;
+    #: None when every node outlived the run (right-censored).
+    first_death_round: int | None
+    n_alive_final: int
+    consumption_ratio: np.ndarray
+    residual_final: np.ndarray
+    positions: np.ndarray
+    seed: int = 0
+    mean_interarrival: float = 0.0
+    v_update_total: int = 0
+    extras: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def delivery_rate(self) -> float:
+        """Run-level packet delivery rate (Fig. 3a's y-axis)."""
+        return self.packets.delivery_rate
+
+    @property
+    def lifespan(self) -> int:
+        """Network lifespan in rounds (Fig. 3c's y-axis); censored runs
+        report the number of rounds survived."""
+        if self.first_death_round is not None:
+            return self.first_death_round
+        return self.rounds_executed
+
+    @property
+    def lifespan_censored(self) -> bool:
+        return self.first_death_round is None
+
+    def _death_round_at(self, fraction: float) -> int | None:
+        """First 1-based round where alive nodes fell to or below
+        ``(1 - fraction)`` of the population; None if never."""
+        if not self.per_round:
+            return None
+        n0 = self.consumption_ratio.size
+        threshold = (1.0 - fraction) * n0
+        for stats in self.per_round:
+            if stats.n_alive <= threshold:
+                return stats.round_index + 1
+        return None
+
+    @property
+    def half_death_round(self) -> int | None:
+        """HND: the standard half-nodes-dead lifespan metric."""
+        return self._death_round_at(0.5)
+
+    @property
+    def last_death_round(self) -> int | None:
+        """LND: round the last node died (full network death)."""
+        return self._death_round_at(1.0 - 1e-12)
+
+    def alive_curve(self) -> np.ndarray:
+        """Alive-node count per executed round (the classic WSN
+        lifetime figure; complements Fig. 3(c))."""
+        return np.asarray([r.n_alive for r in self.per_round], dtype=np.int64)
+
+    @property
+    def mean_latency(self) -> float:
+        return self.packets.mean_latency
+
+    @property
+    def energy_per_delivered_packet(self) -> float:
+        if self.packets.delivered == 0:
+            return float("inf")
+        return self.total_energy / self.packets.delivered
+
+    def energy_balance_index(self) -> float:
+        """Jain's fairness index over per-node consumption ratios —
+        quantifies Fig. 4's "evenly distributed" claim (1.0 = perfectly
+        even consumption)."""
+        c = self.consumption_ratio
+        denom = c.size * float((c * c).sum())
+        if denom <= 0.0:
+            return 1.0
+        return float(c.sum()) ** 2 / denom
+
+    def consumption_spread(self) -> tuple[float, float]:
+        """(mean, std) of the per-node consumption ratio."""
+        return float(self.consumption_ratio.mean()), float(
+            self.consumption_ratio.std()
+        )
+
+    def summary(self) -> dict:
+        """Flat dict for tabulation."""
+        return {
+            "protocol": self.protocol,
+            "lambda": self.mean_interarrival,
+            "seed": self.seed,
+            "rounds": self.rounds_executed,
+            "pdr": round(self.delivery_rate, 4),
+            "energy_J": round(self.total_energy, 6),
+            "lifespan": self.lifespan,
+            "censored": self.lifespan_censored,
+            "latency_slots": round(self.mean_latency, 3),
+            "generated": self.packets.generated,
+            "delivered": self.packets.delivered,
+            "dropped_queue": self.packets.dropped_queue,
+            "dropped_channel": self.packets.dropped_channel,
+            "alive_final": self.n_alive_final,
+            "balance_index": round(self.energy_balance_index(), 4),
+        }
+
+    def validate(self) -> None:
+        """Cross-invariants every run must satisfy (used by tests and
+        asserted once per engine run)."""
+        self.packets.validate()
+        if self.total_energy < -1e-12:
+            raise AssertionError("negative total energy")
+        if not 0.0 <= self.delivery_rate <= 1.0:
+            raise AssertionError("delivery rate outside [0, 1]")
+        if np.any(self.consumption_ratio < -1e-12) or np.any(
+            self.consumption_ratio > 1.0 + 1e-12
+        ):
+            raise AssertionError("consumption ratio outside [0, 1]")
+        per_round_energy = sum(r.energy_consumed for r in self.per_round)
+        if not np.isclose(per_round_energy, self.total_energy, rtol=1e-9, atol=1e-12):
+            raise AssertionError("per-round energies do not sum to total")

@@ -1,0 +1,130 @@
+"""Named scenario catalog.
+
+Every experiment, example, and benchmark in this repository runs one of
+a small set of scenario *shapes*; this registry gives them stable names
+so CLI users and tests can say ``build_scenario("table2")`` instead of
+re-assembling configs.  Each entry returns a fresh
+:class:`~repro.config.SimulationConfig` plus (optionally) a pre-built
+deployment for non-cube layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..config import (
+    DeploymentConfig,
+    SimulationConfig,
+    TrafficConfig,
+    paper_config,
+)
+from ..network.deployment import mountain_terrain, underwater_column
+from ..network.node import BaseStation, NodeArray
+
+__all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
+
+Scenario = tuple[SimulationConfig, NodeArray | None, BaseStation | None]
+
+
+def _table2(seed: int) -> Scenario:
+    """The calibrated Table-2 scenario (see EXPERIMENTS.md)."""
+    return paper_config(seed=seed), None, None
+
+
+def _table2_literal(seed: int) -> Scenario:
+    """Table 2 with the literal 5 J batteries (immortal nodes)."""
+    return paper_config(seed=seed, initial_energy=5.0), None, None
+
+
+def _congested(seed: int) -> Scenario:
+    """The most congested Fig.-3 operating point (lambda = 2)."""
+    return paper_config(mean_interarrival=2.0, seed=seed), None, None
+
+
+def _lifespan(seed: int) -> Scenario:
+    """Energy-starved long-horizon run for FND/HND/LND milestones."""
+    return (
+        paper_config(seed=seed, initial_energy=0.1, rounds=60),
+        None,
+        None,
+    )
+
+
+def _underwater(seed: int) -> Scenario:
+    """150-instrument water column with a surface-buoy sink."""
+    side, n = 150.0, 150
+    config = SimulationConfig(
+        deployment=DeploymentConfig(
+            n_nodes=n, side=side, initial_energy=0.15,
+            bs_position=(side / 2, side / 2, side),
+        ),
+        traffic=TrafficConfig(mean_interarrival=8.0),
+        rounds=40,
+        n_clusters=6,
+        seed=seed,
+    )
+    nodes, bs = underwater_column(
+        n, side, 0.15, rng=np.random.default_rng(10_000 + seed)
+    )
+    return config, nodes, bs
+
+
+def _mountain(seed: int) -> Scenario:
+    """Sensors on a synthetic massif, summit gateway."""
+    side, n = 250.0, 120
+    nodes, bs = mountain_terrain(
+        n, side, 0.2, rng=np.random.default_rng(20_000 + seed)
+    )
+    config = SimulationConfig(
+        deployment=DeploymentConfig(
+            n_nodes=n, side=side, initial_energy=0.2,
+            bs_position=tuple(bs.position),
+        ),
+        traffic=TrafficConfig(mean_interarrival=6.0),
+        rounds=20,
+        n_clusters=6,
+        seed=seed,
+    )
+    return config, nodes, bs
+
+
+def _heterogeneous(seed: int) -> Scenario:
+    """DEEC's advanced-node setting: 20 % of nodes with double battery."""
+    base = paper_config(seed=seed)
+    config = base.replace(
+        deployment=DeploymentConfig(
+            n_nodes=100, side=200.0, initial_energy=0.25,
+            advanced_fraction=0.2, advanced_factor=1.0,
+        )
+    )
+    return config, None, None
+
+
+SCENARIOS: dict[str, Callable[[int], Scenario]] = {
+    "table2": _table2,
+    "table2-literal": _table2_literal,
+    "congested": _congested,
+    "lifespan": _lifespan,
+    "underwater": _underwater,
+    "mountain": _mountain,
+    "heterogeneous": _heterogeneous,
+}
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def build_scenario(name: str, seed: int = 0) -> Scenario:
+    """Materialize a named scenario.
+
+    Returns ``(config, nodes, bs)``; ``nodes``/``bs`` are ``None`` for
+    cube scenarios (the engine deploys from the config).
+    """
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        )
+    return SCENARIOS[name](seed)

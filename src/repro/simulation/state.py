@@ -1,0 +1,157 @@
+"""Shared mutable simulation state.
+
+One :class:`NetworkState` instance is threaded through the engine and
+the active protocol each round.  It owns the substrates every protocol
+needs — geometry, batteries, channel, link estimates — so protocol
+implementations stay pure strategies (a design choice that makes the
+Fig. 3 comparison fair: every algorithm runs on byte-identical
+machinery and RNG streams).
+
+Index convention: nodes are ``0..N-1`` and the base station is
+addressed as index ``N`` everywhere (V table, link estimator, relay
+choices).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..energy.battery import EnergyLedger
+from ..energy.radio import FirstOrderRadio
+from ..network.channel import Channel, LinkEstimator
+from ..network.deployment import deploy
+from ..network.node import BaseStation, NodeArray
+from ..network.topology import Topology
+
+__all__ = ["NetworkState"]
+
+
+class NetworkState:
+    """Everything a protocol can observe and the engine mutates.
+
+    Parameters
+    ----------
+    config:
+        Scenario description.
+    nodes, bs:
+        Optional pre-built deployment (the dataset experiments build
+        their own); when omitted the config's uniform cube is deployed.
+    rng:
+        The master random generator for this run.  All stochastic
+        components (traffic, channel, protocol randomisation) draw from
+        streams spawned off it, keeping runs reproducible.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        nodes: NodeArray | None = None,
+        bs: BaseStation | None = None,
+        rng: np.random.Generator | None = None,
+        initial_energy: np.ndarray | None = None,
+    ) -> None:
+        self.config = config
+        master = rng if rng is not None else np.random.default_rng(config.seed)
+        # Independent child streams: deployment, traffic, channel,
+        # protocol, and engine-internal tie-breaking.
+        seeds = master.spawn(7)
+        (self._deploy_rng, self.traffic_rng, channel_rng,
+         self.protocol_rng, self.engine_rng,
+         self.mobility_rng, self.harvest_rng) = seeds
+
+        if nodes is None or bs is None:
+            nodes, bs = deploy(config.deployment, self._deploy_rng)
+        self.nodes = nodes
+        self.bs = bs
+        self.topology = Topology(nodes, bs)
+        self.radio = FirstOrderRadio(config.radio)
+        energies = (
+            np.asarray(initial_energy, dtype=np.float64)
+            if initial_energy is not None
+            else nodes.initial_energy
+        )
+        self.ledger = EnergyLedger(energies, death_line=config.deployment.death_line)
+        self.channel = Channel(self.radio, channel_rng)
+        # Targets: every node plus the base station (index N).
+        self.link_estimator = LinkEstimator(
+            nodes.n,
+            nodes.n + 1,
+            alpha=config.estimator_alpha,
+            shared=config.estimator_shared,
+        )
+        self.round_index = 0
+        #: Per-node round index at which the node was last a cluster
+        #: head; -inf means never (drives the rotating-epoch rule).
+        self.last_ch_round = np.full(nodes.n, -np.inf)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.nodes.n
+
+    @property
+    def bs_index(self) -> int:
+        """Sentinel index addressing the base station."""
+        return self.nodes.n
+
+    @property
+    def total_rounds(self) -> int:
+        return self.config.rounds
+
+    def alive_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.ledger.alive)
+
+    def distance(self, node: int, target: int) -> float:
+        """Distance from ``node`` to ``target`` (node index or BS sentinel)."""
+        if target == self.bs_index:
+            return float(self.topology.d_to_bs[node])
+        return float(
+            np.linalg.norm(
+                self.nodes.positions[node] - self.nodes.positions[target]
+            )
+        )
+
+    def distances_from(self, node: int, targets: np.ndarray) -> np.ndarray:
+        """Vectorized distances from ``node`` to a target list that may
+        include the BS sentinel."""
+        targets = np.asarray(targets)
+        out = np.empty(targets.size, dtype=np.float64)
+        is_bs = targets == self.bs_index
+        if is_bs.any():
+            out[is_bs] = self.topology.d_to_bs[node]
+        real = ~is_bs
+        if real.any():
+            diff = self.nodes.positions[targets[real]] - self.nodes.positions[node]
+            out[real] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return out
+
+    def average_energy_estimate(self) -> float:
+        """Paper Eq. (2): linear-decay estimate of the network's average
+        energy at the current round, ``E(r) = (1/N) E_init (1 - r/R)``.
+
+        Note the estimate deliberately ignores the measured residuals —
+        the paper introduces it "to reduce the time complexity"; the
+        measured average is available as ``ledger.average_energy()``.
+        """
+        e_init_total = self.ledger.total_initial
+        r, big_r = self.round_index, self.total_rounds
+        return (e_init_total / self.n) * (1.0 - r / big_r)
+
+    def update_positions(self, positions: np.ndarray) -> None:
+        """Replace node coordinates (mobility step) and rebuild the
+        cached geometry.  Energies, liveness, link estimates, and V
+        tables are identity-keyed and survive the move."""
+        self.nodes = NodeArray(positions, self.nodes.initial_energy)
+        self.topology = Topology(self.nodes, self.bs)
+
+    def mark_cluster_heads(self, heads: np.ndarray) -> None:
+        """Record head service for the rotating-epoch bookkeeping."""
+        if np.asarray(heads).size:
+            self.last_ch_round[np.asarray(heads)] = self.round_index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NetworkState(n={self.n}, round={self.round_index}/"
+            f"{self.total_rounds}, alive={self.ledger.n_alive})"
+        )

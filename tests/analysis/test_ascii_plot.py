@@ -1,0 +1,88 @@
+"""Tests for the ASCII rasteriser."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import (
+    grid_to_text,
+    heatmap_ascii,
+    network_ascii,
+    scatter_ascii,
+)
+
+
+class TestScatter:
+    def test_corners_land_in_corners(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        grid = scatter_ascii(pts, width=10, height=5, marker="x")
+        text = grid_to_text(grid)
+        rows = text.splitlines()
+        assert rows[-1][0] == "x"   # (0,0) bottom-left
+        assert rows[0][-1] == "x"   # (10,10) top-right
+
+    def test_overlay_preserves_base(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[10.0, 10.0]])
+        extent = (0.0, 10.0, 0.0, 10.0)
+        grid = scatter_ascii(a, 10, 5, ".", extent)
+        grid = scatter_ascii(b, 10, 5, "H", extent, base=grid)
+        text = grid_to_text(grid)
+        assert "." in text and "H" in text
+
+    def test_degenerate_single_point(self):
+        grid = scatter_ascii(np.array([[3.0, 3.0]]), 8, 4)
+        assert sum(ch != " " for row in grid for ch in row) == 1
+
+    def test_empty_points(self):
+        grid = scatter_ascii(np.zeros((0, 2)), 8, 4)
+        assert all(ch == " " for row in grid for ch in row)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_ascii(np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            scatter_ascii(np.zeros((2, 2)), width=1)
+        with pytest.raises(ValueError):
+            scatter_ascii(np.zeros((2, 2)), marker="ab")
+
+    def test_3d_points_use_xy(self):
+        pts = np.array([[0.0, 0.0, 99.0], [5.0, 5.0, -7.0]])
+        grid = scatter_ascii(pts, 6, 4)
+        assert sum(ch != " " for row in grid for ch in row) == 2
+
+
+class TestHeatmap:
+    def test_extremes_use_ramp_ends(self):
+        text = heatmap_ascii(np.array([[0.0, 1.0]]), ramp=" #")
+        assert text == " #"
+
+    def test_nan_rendered_as_question(self):
+        text = heatmap_ascii(np.array([[0.0, np.nan, 1.0]]))
+        assert "?" in text
+
+    def test_constant_field(self):
+        text = heatmap_ascii(np.full((2, 3), 5.0))
+        assert len(set(text.replace("\n", ""))) == 1
+
+    def test_all_nan(self):
+        text = heatmap_ascii(np.full((2, 2), np.nan))
+        assert text == "??\n??"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap_ascii(np.zeros(3))
+        with pytest.raises(ValueError):
+            heatmap_ascii(np.zeros((2, 2)), ramp="x")
+
+
+class TestNetworkAscii:
+    def test_markers_present(self):
+        rng = np.random.default_rng(0)
+        pos = rng.random((30, 3)) * 100
+        text = network_ascii(pos, heads=[0, 1], bs_position=(50, 50, 50))
+        assert "H" in text and "S" in text and "." in text
+
+    def test_without_heads_or_bs(self):
+        pos = np.random.default_rng(1).random((5, 3))
+        text = network_ascii(pos)
+        assert "H" not in text and "S" not in text

@@ -1,0 +1,78 @@
+"""Tests for sweep persistence (JSON round-trip, CSV export)."""
+
+import json
+
+import pytest
+
+from repro.analysis.io import load_sweep, rows_to_csv, save_sweep, sweep_to_csv
+from repro.analysis.sweep import SweepResult
+
+
+def sample_sweep():
+    return SweepResult(
+        rows=[
+            {"protocol": "qlec", "lambda": 4.0, "seed": 0, "pdr": 0.9},
+            {"protocol": "fcm", "lambda": 4.0, "seed": 0, "pdr": 0.8},
+        ]
+    )
+
+
+class TestJSONRoundTrip:
+    def test_round_trip_preserves_rows(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        original = sample_sweep()
+        save_sweep(original, path)
+        loaded = load_sweep(path)
+        assert loaded.rows == original.rows
+
+    def test_loaded_sweep_aggregates(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sample_sweep(), path)
+        loaded = load_sweep(path)
+        assert loaded.aggregate("pdr", "qlec", 4.0) == pytest.approx(0.9)
+
+    def test_rejects_wrong_format_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 999, "rows": []}))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_sweep(path)
+
+    def test_rejects_non_sweep_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a sweep"):
+            load_sweep(path)
+
+    def test_real_sweep_round_trip(self, tmp_path):
+        from repro.analysis import sweep_protocols
+
+        sweep = sweep_protocols(
+            protocols=("direct",), lambdas=(8.0,), seeds=(0,),
+            rounds=2, serial=True,
+        )
+        path = tmp_path / "real.json"
+        save_sweep(sweep, path)
+        assert load_sweep(path).rows == sweep.rows
+
+
+class TestCSV:
+    def test_header_and_rows(self):
+        text = rows_to_csv(sample_sweep().rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "protocol,lambda,seed,pdr"
+        assert len(lines) == 3
+
+    def test_union_of_keys(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+        assert lines[2] == ",2"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_file_export(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(sample_sweep(), path)
+        assert path.read_text().startswith("protocol,")

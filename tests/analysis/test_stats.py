@@ -1,0 +1,113 @@
+"""Tests for summary statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import censored_mean, jains_index, mean_ci
+
+
+class TestMeanCI:
+    def test_mean(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 3
+
+    def test_interval_contains_mean(self):
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.lo < ci.mean < ci.hi
+
+    def test_single_value_has_nan_width(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0
+        assert np.isnan(ci.half_width)
+
+    def test_zero_variance_zero_width(self):
+        ci = mean_ci([2.0, 2.0, 2.0])
+        assert ci.half_width == pytest.approx(0.0)
+
+    def test_wider_confidence_wider_interval(self):
+        data = [1.0, 2.0, 4.0, 8.0]
+        assert mean_ci(data, 0.99).half_width > mean_ci(data, 0.9).half_width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+        with pytest.raises(ValueError):
+            mean_ci([1.0], confidence=1.0)
+
+    def test_str_formatting(self):
+        assert "±" in str(mean_ci([1.0, 2.0]))
+
+
+class TestCensoredMean:
+    def test_counts_censored(self):
+        mean, n_cens = censored_mean([10, 20, 20], [False, True, True])
+        assert mean == pytest.approx(50 / 3)
+        assert n_cens == 2
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            censored_mean([1, 2], [True])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            censored_mean([], [])
+
+
+class TestJainsIndex:
+    def test_uniform_is_one(self):
+        assert jains_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_hotspot_is_one_over_n(self):
+        assert jains_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_defined_as_one(self):
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jains_index([-1.0, 1.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_property(self, values):
+        idx = jains_index(values)
+        assert 1.0 / len(values) - 1e-9 <= idx <= 1.0 + 1e-9
+
+
+class TestLatencyPercentiles:
+    def test_basic_percentiles(self):
+        from repro.analysis.stats import latency_percentiles
+
+        out = latency_percentiles(range(1, 101))
+        assert out["p50"] == pytest.approx(50.5)
+        assert out["p99"] == pytest.approx(99.01, abs=0.1)
+        assert out["max"] == 100.0
+
+    def test_empty_is_nan(self):
+        from repro.analysis.stats import latency_percentiles
+
+        out = latency_percentiles([])
+        assert np.isnan(out["p50"]) and np.isnan(out["mean"])
+
+    def test_custom_quantiles(self):
+        from repro.analysis.stats import latency_percentiles
+
+        out = latency_percentiles([1, 2, 3], qs=(0, 100))
+        assert out["p0"] == 1.0 and out["p100"] == 3.0
+
+    def test_integration_with_simulation(self):
+        from repro.analysis.stats import latency_percentiles
+        from repro.core import QLECProtocol
+        from repro.simulation import run_simulation
+        from tests.conftest import make_config
+
+        result = run_simulation(make_config(seed=2), QLECProtocol())
+        out = latency_percentiles(result.packets.latencies)
+        assert out["p50"] <= out["p90"] <= out["p99"] <= out["max"]

@@ -1,0 +1,78 @@
+"""Tests for the protocol-comparison sweep machinery."""
+
+import pytest
+
+from repro.analysis.sweep import PROTOCOLS, SweepResult, run_cell, sweep_protocols
+
+
+class TestRegistry:
+    def test_known_protocols(self):
+        for name in ("qlec", "fcm", "kmeans", "leach", "deec", "direct"):
+            assert name in PROTOCOLS
+
+    def test_factories_build_fresh_instances(self):
+        a = PROTOCOLS["qlec"]()
+        b = PROTOCOLS["qlec"]()
+        assert a is not b
+
+
+class TestRunCell:
+    def test_summary_shape(self):
+        row = run_cell("direct", 8.0, seed=0, rounds=3)
+        assert row["protocol"] == "direct"
+        assert row["lambda"] == 8.0
+        assert 0.0 <= row["pdr"] <= 1.0
+
+    def test_registry_name_overrides_class_name(self):
+        row = run_cell("kmeans-adaptive", 8.0, seed=0, rounds=3)
+        assert row["protocol"] == "kmeans-adaptive"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            run_cell("nope", 8.0, seed=0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_protocols(
+            protocols=("direct", "kmeans"),
+            lambdas=(4.0, 16.0),
+            seeds=(0, 1),
+            rounds=3,
+            serial=True,
+        )
+
+    def test_grid_size(self, sweep):
+        assert len(sweep.rows) == 2 * 2 * 2
+
+    def test_filtered(self, sweep):
+        rows = sweep.filtered(protocol="direct")
+        assert len(rows) == 4
+        assert all(r["protocol"] == "direct" for r in rows)
+
+    def test_aggregate_means_over_seeds(self, sweep):
+        rows = sweep.filtered(protocol="direct", **{"lambda": 4.0})
+        expected = sum(r["pdr"] for r in rows) / len(rows)
+        assert sweep.aggregate("pdr", "direct", 4.0) == pytest.approx(expected)
+
+    def test_aggregate_missing_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.aggregate("pdr", "qlec", 4.0)
+
+    def test_series_shape(self, sweep):
+        s = sweep.series("pdr", ("direct", "kmeans"), (4.0, 16.0))
+        assert set(s) == {"direct", "kmeans"}
+        assert len(s["direct"]) == 2
+
+    def test_aggregate_ci(self, sweep):
+        ci = sweep.aggregate_ci("pdr", "direct", 4.0)
+        assert ci.n == 2
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(
+            protocols=("direct",), lambdas=(8.0,), seeds=(0, 1, 2), rounds=2
+        )
+        serial = sweep_protocols(serial=True, **kwargs)
+        parallel = sweep_protocols(max_workers=2, **kwargs)
+        assert serial.rows == parallel.rows

@@ -1,0 +1,72 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import render_kv, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_missing_keys_render_dash(self):
+        out = render_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "-" in out.splitlines()[-1]
+
+    def test_title(self):
+        out = render_table([{"x": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([])
+
+    def test_precision(self):
+        out = render_table([{"v": 1.23456789}], precision=2)
+        assert "1.23" in out and "1.2346" not in out
+
+    def test_bool_rendering(self):
+        out = render_table([{"ok": True}, {"ok": False}])
+        assert "yes" in out and "no" in out
+
+    def test_column_order_respected(self):
+        out = render_table([{"b": 1, "a": 2}], columns=["a", "b"])
+        header = out.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_alignment_consistent(self):
+        out = render_table([{"name": "x", "v": 1}, {"name": "longer", "v": 22}])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines[0:1] + lines[2:]}) == 1
+
+
+class TestRenderSeries:
+    def test_figure_shape(self):
+        out = render_series(
+            "lambda", [2, 4], {"qlec": [0.9, 0.95], "fcm": [0.8, 0.9]}
+        )
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "lambda"
+        assert "qlec" in lines[0] and "fcm" in lines[0]
+        assert len(lines) == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"s": [1.0]})
+
+
+class TestRenderKV:
+    def test_pairs(self):
+        out = render_kv({"nodes": 100, "pdr": 0.912345}, precision=3)
+        assert "nodes" in out
+        assert "0.912" in out
+
+    def test_title(self):
+        out = render_kv({"a": 1}, title="Header")
+        assert out.splitlines()[0] == "Header"
+
+    def test_empty(self):
+        assert render_kv({}) == ""

@@ -1,0 +1,146 @@
+"""Tests for fuzzy C-means and the FCM hierarchical baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fcm import FCMProtocol, fuzzy_c_means
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+class TestFuzzyCMeans:
+    def test_membership_rows_stochastic(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((30, 3)) * 100
+        result = fuzzy_c_means(pts, 4, rng=1)
+        np.testing.assert_allclose(result.membership.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(result.membership >= 0.0)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_membership_stochastic_property(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((20, 3)) * 50
+        result = fuzzy_c_means(pts, 3, rng=seed, max_iter=30)
+        np.testing.assert_allclose(result.membership.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_separated_blobs_hard_labels(self):
+        rng = np.random.default_rng(2)
+        pts = np.concatenate([
+            rng.normal((0, 0, 0), 1.0, size=(15, 3)),
+            rng.normal((80, 80, 80), 1.0, size=(15, 3)),
+        ])
+        result = fuzzy_c_means(pts, 2, rng=3)
+        labels = result.hard_labels()
+        assert len(set(labels[:15].tolist())) == 1
+        assert len(set(labels[15:].tolist())) == 1
+        assert labels[0] != labels[-1]
+
+    def test_near_crisp_membership_for_separated_data(self):
+        rng = np.random.default_rng(4)
+        pts = np.concatenate([
+            rng.normal((0, 0, 0), 0.5, size=(10, 3)),
+            rng.normal((100, 0, 0), 0.5, size=(10, 3)),
+        ])
+        result = fuzzy_c_means(pts, 2, rng=5)
+        assert result.membership.max(axis=1).min() > 0.95
+
+    def test_converges(self):
+        rng = np.random.default_rng(6)
+        pts = rng.random((40, 3)) * 10
+        result = fuzzy_c_means(pts, 3, rng=7)
+        assert result.converged
+        assert result.iterations < 200
+
+    def test_fuzzifier_softens_membership(self):
+        rng = np.random.default_rng(8)
+        pts = rng.random((30, 3)) * 20
+        crisp = fuzzy_c_means(pts, 3, m=1.5, rng=9)
+        soft = fuzzy_c_means(pts, 3, m=4.0, rng=9)
+        assert soft.membership.max(axis=1).mean() < crisp.membership.max(axis=1).mean()
+
+    def test_validation(self):
+        pts = np.zeros((5, 3))
+        with pytest.raises(ValueError):
+            fuzzy_c_means(pts, 0)
+        with pytest.raises(ValueError):
+            fuzzy_c_means(pts, 2, m=1.0)
+        with pytest.raises(ValueError):
+            fuzzy_c_means(np.zeros((0, 3)), 1)
+
+
+class TestFCMProtocol:
+    def make_state(self):
+        return NetworkState(make_config(n_nodes=30, n_clusters=3, seed=2))
+
+    def test_selects_k_heads(self):
+        state = self.make_state()
+        proto = FCMProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        assert 1 <= heads.size <= 3
+
+    def test_heads_are_energy_aware(self):
+        """Draining a node to near-death must evict it from headship."""
+        state = self.make_state()
+        proto = FCMProtocol()
+        proto.prepare(state)
+        heads0 = proto.select_cluster_heads(state)
+        state.ledger.discharge(heads0, 0.19, "tx")  # nearly drain all heads
+        heads1 = proto.select_cluster_heads(state)
+        assert not np.intersect1d(heads0, heads1).size
+
+    def test_member_joins_nearest_head(self):
+        state = self.make_state()
+        proto = FCMProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        node = int(np.setdiff1d(np.arange(state.n), heads)[0])
+        relay = proto.choose_relay(state, node, heads, np.zeros(heads.size))
+        d = state.distances_from(node, heads)
+        assert relay == int(heads[d.argmin()])
+
+    def test_uplink_path_descends_to_level_zero(self):
+        state = self.make_state()
+        proto = FCMProtocol(n_levels=3)
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        levels = proto._levels(state, heads)
+        for h, lvl in zip(heads, levels):
+            path = proto.uplink_path(state, int(h), heads)
+            if lvl == 0:
+                assert path == []
+            else:
+                # Path levels strictly decrease.
+                path_levels = [levels[list(heads).index(p)] for p in path]
+                assert all(
+                    a > b for a, b in zip([lvl, *path_levels], path_levels)
+                )
+
+    def test_uplink_path_no_cycles(self):
+        state = self.make_state()
+        proto = FCMProtocol(n_levels=4)
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        for h in heads:
+            path = proto.uplink_path(state, int(h), heads)
+            assert len(path) == len(set(path))
+            assert int(h) not in path
+
+    def test_single_head_path_empty(self):
+        state = self.make_state()
+        proto = FCMProtocol()
+        proto.prepare(state)
+        assert proto.uplink_path(state, 0, np.array([0])) == []
+
+    def test_full_simulation_runs(self):
+        result = SimulationEngine(make_config(seed=6), FCMProtocol()).run()
+        assert 0.0 <= result.delivery_rate <= 1.0
+        assert result.packets.generated > 0
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            FCMProtocol(n_levels=0)

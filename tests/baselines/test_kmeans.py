@@ -1,0 +1,156 @@
+"""Tests for the from-scratch k-means and its protocol wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.kmeans import (
+    KMeansProtocol,
+    kmeans,
+    kmeans_plus_plus_init,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+def blob_data(rng, centres=((0, 0, 0), (50, 50, 50), (0, 50, 0)), per=20):
+    pts = np.concatenate(
+        [rng.normal(c, 1.0, size=(per, 3)) for c in centres]
+    )
+    return pts
+
+
+class TestKMeansPlusPlus:
+    def test_returns_k_centroids_from_data(self):
+        rng = np.random.default_rng(0)
+        pts = blob_data(rng)
+        cents = kmeans_plus_plus_init(pts, 3, rng)
+        assert cents.shape == (3, 3)
+        # Each centroid is an actual data point.
+        for c in cents:
+            assert np.any(np.all(np.isclose(pts, c), axis=1))
+
+    def test_spreads_across_blobs(self):
+        rng = np.random.default_rng(1)
+        pts = blob_data(rng)
+        cents = kmeans_plus_plus_init(pts, 3, rng)
+        d = np.linalg.norm(cents[:, None] - cents[None, :], axis=2)
+        assert d[np.triu_indices(3, 1)].min() > 10.0
+
+    def test_duplicate_points_handled(self):
+        pts = np.zeros((5, 3))
+        cents = kmeans_plus_plus_init(pts, 3, np.random.default_rng(0))
+        assert cents.shape == (3, 3)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.zeros((2, 3)), 3, np.random.default_rng(0))
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(2)
+        pts = blob_data(rng)
+        result = kmeans(pts, 3, rng=3)
+        assert result.converged
+        # Each blob maps to exactly one label.
+        labels = [set(result.labels[i * 20:(i + 1) * 20].tolist()) for i in range(3)]
+        assert all(len(ls) == 1 for ls in labels)
+        assert len(set.union(*labels)) == 3
+
+    def test_k1_centroid_is_mean(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((30, 3))
+        result = kmeans(pts, 1, rng=0)
+        np.testing.assert_allclose(result.centroids[0], pts.mean(axis=0), atol=1e-9)
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(4)
+        pts = rng.random((6, 3)) * 100
+        result = kmeans(pts, 6, rng=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_explicit_init_respected(self):
+        pts = np.array([[0.0, 0, 0], [1.0, 0, 0], [10.0, 0, 0], [11.0, 0, 0]])
+        init = np.array([[0.5, 0, 0], [10.5, 0, 0]])
+        result = kmeans(pts, 2, init=init)
+        assert result.converged
+        assert set(result.labels[:2].tolist()) != set(result.labels[2:].tolist())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 3)), 1)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 3)), 2, max_iter=0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 3)), 2, init=np.zeros((3, 3)))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_inertia_bounded_by_total_variance(self, seed, k):
+        """Property: inertia <= sum of squared deviations from the
+        global mean (k=1 solution)."""
+        rng = np.random.default_rng(seed)
+        pts = rng.random((25, 3)) * 10
+        result = kmeans(pts, k, rng=seed)
+        total = float(((pts - pts.mean(axis=0)) ** 2).sum())
+        assert result.inertia <= total + 1e-6
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(5)
+        pts = rng.random((40, 3))
+        a = kmeans(pts, 4, rng=9)
+        b = kmeans(pts, 4, rng=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestKMeansProtocol:
+    def test_static_mode_keeps_heads(self):
+        state = NetworkState(make_config(seed=1))
+        proto = KMeansProtocol()  # static
+        proto.prepare(state)
+        heads0 = proto.select_cluster_heads(state)
+        state.round_index = 1
+        heads1 = proto.select_cluster_heads(state)
+        np.testing.assert_array_equal(heads0, heads1)
+
+    def test_adaptive_mode_reclusters_over_alive(self):
+        state = NetworkState(make_config(seed=1))
+        proto = KMeansProtocol(recluster_every=1)
+        proto.prepare(state)
+        heads0 = proto.select_cluster_heads(state)
+        state.ledger.discharge(heads0, 10.0, "tx")  # kill all heads
+        state.round_index = 1
+        heads1 = proto.select_cluster_heads(state)
+        assert not np.intersect1d(heads0, heads1).size
+
+    def test_member_joins_home_head(self):
+        state = NetworkState(make_config(seed=1))
+        proto = KMeansProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        node = int(np.setdiff1d(np.arange(state.n), heads)[0])
+        relay = proto.choose_relay(state, node, heads, np.zeros(heads.size))
+        assert relay == int(proto._home_head[node])
+
+    def test_stranded_member_goes_direct(self):
+        state = NetworkState(make_config(seed=1))
+        proto = KMeansProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        node = int(np.setdiff1d(np.arange(state.n), heads)[0])
+        home = int(proto._home_head[node])
+        state.ledger.discharge(home, 10.0, "tx")  # kill the home head
+        relay = proto.choose_relay(state, node, heads, np.zeros(heads.size))
+        assert relay == state.bs_index
+
+    def test_full_simulation_runs(self):
+        result = SimulationEngine(make_config(seed=4), KMeansProtocol()).run()
+        assert 0.0 <= result.delivery_rate <= 1.0
+
+    def test_rejects_bad_recluster(self):
+        with pytest.raises(ValueError):
+            KMeansProtocol(recluster_every=0)

@@ -1,0 +1,135 @@
+"""Tests for the LEACH, classic DEEC, and direct-transmission baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DEECProtocol, DirectProtocol, LEACHProtocol
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+class TestLEACH:
+    def make_state(self):
+        return NetworkState(make_config(n_nodes=40, n_clusters=4, seed=3))
+
+    def test_elects_some_heads(self):
+        state = self.make_state()
+        proto = LEACHProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        assert heads.size >= 1
+        assert state.ledger.alive[heads].all()
+
+    def test_rotation_excludes_recent_heads(self):
+        state = self.make_state()
+        proto = LEACHProtocol()
+        proto.prepare(state)
+        state.last_ch_round[:] = 0
+        state.round_index = 1
+        heads = proto.select_cluster_heads(state)
+        # Everyone served last round -> only the promotion fallback fires.
+        assert heads.size == 1
+
+    def test_expected_head_count_near_k(self):
+        """With proper rotation bookkeeping (the shrinking candidate
+        set balances the growing threshold), the long-run mean election
+        size stays near p*N = k."""
+        state = self.make_state()
+        proto = LEACHProtocol()
+        proto.prepare(state)
+        counts = []
+        for r in range(200):
+            state.round_index = r
+            heads = proto.select_cluster_heads(state)
+            state.mark_cluster_heads(heads)
+            counts.append(heads.size)
+        assert 2.0 < float(np.mean(counts)) < 8.0
+
+    def test_member_joins_nearest(self):
+        state = self.make_state()
+        proto = LEACHProtocol()
+        proto.prepare(state)
+        heads = np.array([0, 1, 2])
+        node = 10
+        relay = proto.choose_relay(state, node, heads, np.zeros(3))
+        d = state.distances_from(node, heads)
+        assert relay == int(heads[d.argmin()])
+
+    def test_no_energy_awareness(self):
+        """LEACH may elect a nearly-drained node — its defining flaw."""
+        state = self.make_state()
+        proto = LEACHProtocol()
+        proto.prepare(state)
+        # Drain everyone except node 0 close to (but above) death.
+        state.ledger.discharge(np.arange(1, state.n), 0.1, "tx")
+        elected = set()
+        for r in range(60):
+            state.round_index = r
+            state.last_ch_round[:] = -np.inf
+            elected.update(proto.select_cluster_heads(state).tolist())
+        drained = set(range(1, state.n))
+        assert elected & drained  # drained nodes do get elected
+
+    def test_full_run(self):
+        result = SimulationEngine(make_config(seed=8), LEACHProtocol()).run()
+        assert 0.0 <= result.delivery_rate <= 1.0
+
+
+class TestDEEC:
+    def test_energy_biases_election(self):
+        """Nodes with more residual energy head more often (Eq. 1)."""
+        state = NetworkState(make_config(n_nodes=40, n_clusters=4, seed=5))
+        proto = DEECProtocol()
+        proto.prepare(state)
+        rich = np.arange(0, 20)
+        poor = np.arange(20, 40)
+        state.ledger.discharge(poor, 0.1, "tx")  # poor half at 50% energy
+        rich_count = poor_count = 0
+        for r in range(120):
+            state.round_index = r % 10
+            state.last_ch_round[:] = -np.inf
+            heads = proto.select_cluster_heads(state)
+            rich_count += np.isin(heads, rich).sum()
+            poor_count += np.isin(heads, poor).sum()
+        assert rich_count > poor_count
+
+    def test_uses_linear_estimate(self):
+        state = NetworkState(make_config(seed=5))
+        proto = DEECProtocol()
+        proto.prepare(state)
+        assert proto.selector.config.energy_estimate == "linear"
+        assert not proto.selector.config.use_energy_threshold
+
+    def test_full_run(self):
+        result = SimulationEngine(make_config(seed=9), DEECProtocol()).run()
+        assert 0.0 <= result.delivery_rate <= 1.0
+
+
+class TestDirect:
+    def test_no_heads(self):
+        state = NetworkState(make_config(seed=1))
+        proto = DirectProtocol()
+        proto.prepare(state)
+        assert proto.select_cluster_heads(state).size == 0
+
+    def test_relay_is_always_bs(self):
+        state = NetworkState(make_config(seed=1))
+        proto = DirectProtocol()
+        assert proto.choose_relay(state, 0, np.array([]), np.array([])) == state.bs_index
+
+    def test_full_run_delivers_one_hop(self):
+        result = SimulationEngine(
+            make_config(seed=10, mean_interarrival=16.0), DirectProtocol()
+        ).run()
+        assert result.packets.mean_hops == pytest.approx(1.0)
+
+    def test_congestion_collapses_direct(self):
+        """The BS ingress budget throttles unscheduled direct traffic."""
+        idle = SimulationEngine(
+            make_config(seed=11, mean_interarrival=32.0), DirectProtocol()
+        ).run()
+        congested = SimulationEngine(
+            make_config(seed=11, mean_interarrival=1.0), DirectProtocol()
+        ).run()
+        assert congested.delivery_rate < idle.delivery_rate

@@ -1,0 +1,138 @@
+"""Tests for the QELAR-style hop-by-hop Q-routing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import QELARProtocol
+from repro.simulation.engine import run_simulation
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+def big_state(seed=2):
+    """A network wide enough that multi-hop is actually needed."""
+    return NetworkState(
+        make_config(n_nodes=60, side=300.0, seed=seed, n_clusters=4)
+    )
+
+
+class TestNeighbourhoods:
+    def test_no_heads_ever(self):
+        state = big_state()
+        proto = QELARProtocol()
+        proto.prepare(state)
+        assert proto.select_cluster_heads(state).size == 0
+
+    def test_candidates_make_progress(self):
+        state = big_state()
+        proto = QELARProtocol()
+        proto.prepare(state)
+        d_bs = state.topology.d_to_bs
+        for i in range(state.n):
+            for c in proto._candidates[i]:
+                assert d_bs[c] < d_bs[i]
+
+    def test_candidates_within_range(self):
+        state = big_state()
+        proto = QELARProtocol()
+        proto.prepare(state)
+        full = state.topology.full_matrix()
+        for i in range(state.n):
+            cand = proto._candidates[i]
+            if cand.size:
+                assert np.all(full[i, cand] <= proto._radio_range + 1e-9)
+
+    def test_candidate_cap(self):
+        state = big_state()
+        proto = QELARProtocol(max_candidates=3)
+        proto.prepare(state)
+        assert max(c.size for c in proto._candidates) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QELARProtocol(range_factor=0.0)
+        with pytest.raises(ValueError):
+            QELARProtocol(max_candidates=0)
+
+
+class TestRelayChoice:
+    def test_near_sink_goes_direct(self):
+        state = big_state()
+        proto = QELARProtocol()
+        proto.prepare(state)
+        nearest = int(np.argmin(state.topology.d_to_bs))
+        relay = proto.choose_relay(state, nearest, np.empty(0, dtype=int),
+                                   np.empty(0))
+        assert relay == state.bs_index
+
+    def test_far_node_picks_progress_neighbour(self):
+        state = big_state()
+        proto = QELARProtocol()
+        proto.prepare(state)
+        far = int(np.argmax(state.topology.d_to_bs))
+        if proto._candidates[far].size == 0:
+            pytest.skip("void region for this seed")
+        relay = proto.choose_relay(state, far, np.empty(0, dtype=int),
+                                   np.empty(0))
+        assert relay != state.bs_index
+        assert state.topology.d_to_bs[relay] < state.topology.d_to_bs[far]
+
+    def test_relay_choice_updates_v(self):
+        state = big_state()
+        proto = QELARProtocol()
+        proto.prepare(state)
+        far = int(np.argmax(state.topology.d_to_bs))
+        if proto._candidates[far].size == 0:
+            pytest.skip("void region for this seed")
+        proto.choose_relay(state, far, np.empty(0, dtype=int), np.empty(0))
+        assert proto.v.update_count == 1
+
+    def test_dead_candidates_skipped(self):
+        state = big_state()
+        proto = QELARProtocol()
+        proto.prepare(state)
+        far = int(np.argmax(state.topology.d_to_bs))
+        state.ledger.discharge(proto._candidates[far], 10.0, "tx")
+        relay = proto.choose_relay(state, far, np.empty(0, dtype=int),
+                                   np.empty(0))
+        assert relay == state.bs_index  # void fallback
+
+
+class TestFullRun:
+    def test_simulation_completes_with_multihop(self):
+        config = make_config(n_nodes=60, side=300.0, seed=4,
+                             mean_interarrival=16.0)
+        result = run_simulation(config, QELARProtocol())
+        result.validate()
+        # Some packets must have taken more than one hop.
+        assert result.packets.mean_hops > 1.0
+
+    def test_ttl_bounds_hops(self):
+        config = make_config(n_nodes=60, side=300.0, seed=5).replace(max_hops=3)
+        result = run_simulation(config, QELARProtocol())
+        result.validate()
+        if result.packets.latencies:
+            # delivered packets obeyed the TTL
+            assert result.packets.total_hops <= 3 * max(
+                result.packets.delivered, 1
+            )
+
+    def test_mobility_triggers_neighbourhood_rebuild(self):
+        from repro.network.mobility import MobilityConfig
+
+        config = make_config(n_nodes=40, side=250.0, seed=6).replace(
+            mobility=MobilityConfig(speed=20.0)
+        )
+        result = run_simulation(config, QELARProtocol())
+        result.validate()
+
+    def test_sink_contention_limits_flat_routing(self):
+        """The scalability story behind Eq. (19)'s penalty: a flat
+        protocol funnels everything into the BS's unscheduled budget
+        and saturates where clustering does not."""
+        from repro.core import QLECProtocol
+
+        config = make_config(n_nodes=40, seed=7, mean_interarrival=2.0)
+        flat = run_simulation(config, QELARProtocol())
+        clustered = run_simulation(config, QLECProtocol())
+        assert clustered.delivery_rate > flat.delivery_rate

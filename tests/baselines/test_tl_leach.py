@@ -1,0 +1,90 @@
+"""Tests for the TL-LEACH two-level baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TLLEACHProtocol
+from repro.simulation.engine import run_simulation
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+def make_state():
+    return NetworkState(make_config(n_nodes=50, n_clusters=6, seed=4))
+
+
+class TestElection:
+    def test_selects_both_levels(self):
+        state = make_state()
+        proto = TLLEACHProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        assert heads.size >= 2
+        assert proto._primaries.size >= 1
+        assert np.isin(proto._primaries, heads).all()
+
+    def test_primary_fraction_validation(self):
+        with pytest.raises(ValueError):
+            TLLEACHProtocol(primary_fraction=0.0)
+        with pytest.raises(ValueError):
+            TLLEACHProtocol(primary_fraction=1.0)
+
+    def test_levels_are_disjoint_from_rest(self):
+        state = make_state()
+        proto = TLLEACHProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        secondaries = np.setdiff1d(heads, proto._primaries)
+        assert not np.intersect1d(secondaries, proto._primaries).size
+
+
+class TestUplinkPath:
+    def test_primary_goes_direct(self):
+        state = make_state()
+        proto = TLLEACHProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        primary = int(proto._primaries[0])
+        assert proto.uplink_path(state, primary, heads) == []
+
+    def test_secondary_relays_through_nearest_primary(self):
+        state = make_state()
+        proto = TLLEACHProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        secondaries = np.setdiff1d(heads, proto._primaries)
+        if secondaries.size == 0:
+            pytest.skip("election produced no secondary this seed")
+        sec = int(secondaries[0])
+        path = proto.uplink_path(state, sec, heads)
+        assert len(path) == 1
+        d = state.distances_from(sec, proto._primaries)
+        assert path[0] == int(proto._primaries[d.argmin()])
+
+    def test_dead_primaries_skipped(self):
+        state = make_state()
+        proto = TLLEACHProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        secondaries = np.setdiff1d(heads, proto._primaries)
+        if secondaries.size == 0:
+            pytest.skip("no secondary this seed")
+        state.ledger.discharge(proto._primaries, 10.0, "tx")
+        assert proto.uplink_path(state, int(secondaries[0]), heads) == []
+
+
+class TestFullRun:
+    def test_simulation_completes(self):
+        result = run_simulation(make_config(seed=5), TLLEACHProtocol())
+        result.validate()
+        assert 0.0 <= result.delivery_rate <= 1.0
+
+    def test_some_deliveries_take_extra_hop(self):
+        """Two-level relaying shows up as mean hops above the flat
+        member->head->BS value of 2."""
+        result = run_simulation(
+            make_config(seed=6, n_nodes=60, n_clusters=8, mean_interarrival=8.0),
+            TLLEACHProtocol(),
+        )
+        if result.packets.delivered:
+            assert result.packets.mean_hops > 1.5

@@ -1,0 +1,157 @@
+"""Tests for the Q-routing layer (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rewards import RewardModel
+from repro.core.routing import QRouter
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+def make_router(**router_kwargs):
+    config = make_config(n_nodes=20, n_clusters=3, seed=5)
+    state = NetworkState(config)
+    rewards = RewardModel(
+        config.qlearning,
+        state.radio,
+        config.traffic.packet_bits,
+        energy_scale=float(state.ledger.initial.mean()),
+    )
+    router = QRouter(state, rewards, config.qlearning, **router_kwargs)
+    return state, router
+
+
+HEADS = np.array([2, 7, 11])
+
+
+class TestQValues:
+    def test_action_set_is_heads_plus_bs(self):
+        state, router = make_router()
+        q, targets = router.q_values(0, HEADS)
+        assert q.shape == (4,)
+        assert list(targets) == [2, 7, 11, state.bs_index]
+
+    def test_bs_action_heavily_penalised(self):
+        _, router = make_router()
+        q, targets = router.q_values(0, HEADS)
+        assert q[-1] == min(q)
+        assert q[-1] < q[:-1].min() - 50.0
+
+    def test_evaluation_counter_tracks_k_plus_1(self):
+        _, router = make_router()
+        router.q_values(0, HEADS)
+        router.q_values(1, HEADS)
+        assert router.q_evaluations == 2 * (len(HEADS) + 1)
+
+    def test_q_reflects_link_estimates(self):
+        """Tanking the ACK estimate of one head must lower its Q."""
+        state, router = make_router()
+        q_before, _ = router.q_values(0, HEADS)
+        for _ in range(30):
+            state.link_estimator.update(0, 7, False)
+        q_after, _ = router.q_values(0, HEADS)
+        assert q_after[1] < q_before[1]
+
+
+class TestChoose:
+    def test_choose_returns_head_not_bs(self):
+        state, router = make_router()
+        choice = router.choose(0, HEADS)
+        assert choice in set(HEADS.tolist())
+
+    def test_choose_updates_v_to_max_q(self):
+        _, router = make_router()
+        q, _ = router.q_values(0, HEADS)
+        router_fresh = router  # same state; V was not yet written for 0
+        router_fresh.choose(0, HEADS)
+        assert router_fresh.v[0] == pytest.approx(float(q.max()), rel=1e-9)
+
+    def test_empty_heads_falls_back_to_bs(self):
+        state, router = make_router()
+        assert router.choose(0, np.array([], dtype=int)) == state.bs_index
+
+    def test_v_update_counted(self):
+        _, router = make_router()
+        router.choose(0, HEADS)
+        router.choose(1, HEADS)
+        assert router.v.update_count == 2
+
+    def test_sampled_td_moves_partially(self):
+        _, router = make_router(learning_rate=0.5)
+        q, _ = router.q_values(0, HEADS)
+        router.choose(0, HEADS)
+        assert router.v[0] == pytest.approx(0.5 * float(q.max()), rel=1e-6)
+
+    def test_epsilon_explores(self):
+        state, router = make_router(epsilon=1.0)
+        rng = np.random.default_rng(0)
+        picks = {router.choose(0, HEADS, rng=rng) for _ in range(60)}
+        assert state.bs_index in picks  # pure exploration hits the BS too
+        assert len(picks) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_router(epsilon=1.5)
+        with pytest.raises(ValueError):
+            make_router(learning_rate=0.0)
+
+
+class TestCHBackup:
+    def test_backup_writes_head_value(self):
+        _, router = make_router()
+        router.ch_backup(2)
+        assert router.v[2] != 0.0
+        assert router.v.update_count == 1
+
+    def test_backup_contracts_to_fixed_point(self):
+        """Iterating the head backup converges (gamma-contraction)."""
+        _, router = make_router()
+        prev = None
+        for _ in range(500):
+            router.ch_backup(2)
+            cur = router.v[2]
+            if prev is not None and abs(cur - prev) < 1e-12:
+                break
+            prev = cur
+        else:
+            pytest.fail("head backup did not converge")
+
+    def test_compressed_bits_raise_head_value(self):
+        """Pricing the uplink at compressed bits must give a head a
+        better (or equal) value than full-size pricing would."""
+        state, router = make_router()
+        router.ch_backup(2)
+        v_compressed = router.v[2]
+        # Redo with a router whose compression ratio is 1 (no gain).
+        config = state.config.replace(compression_ratio=0.999)
+        state2 = NetworkState(config)
+        rewards2 = RewardModel(
+            config.qlearning, state2.radio, config.traffic.packet_bits,
+            energy_scale=float(state2.ledger.initial.mean()),
+        )
+        router2 = QRouter(state2, rewards2, config.qlearning)
+        router2.ch_backup(2)
+        assert v_compressed >= router2.v[2]
+
+
+class TestRelax:
+    def test_relax_converges_and_counts(self):
+        state, router = make_router()
+        members = np.setdiff1d(np.arange(state.n), HEADS)
+        sweeps = router.relax(members, HEADS)
+        assert 1 <= sweeps < router.cfg.max_backups
+        assert router.v.update_count == sweeps * members.size
+
+    def test_relax_fixed_point_stable(self):
+        state, router = make_router()
+        members = np.setdiff1d(np.arange(state.n), HEADS)
+        router.relax(members, HEADS)
+        v_before = router.v.values.copy()
+        router.relax(members, HEADS)
+        np.testing.assert_allclose(router.v.values, v_before, atol=1e-5)
+
+    def test_relax_empty_inputs(self):
+        _, router = make_router()
+        assert router.relax(np.array([], dtype=int), HEADS) == 0
+        assert router.relax(np.array([0]), np.array([], dtype=int)) == 0

@@ -1,0 +1,198 @@
+"""Tests for improved-DEEC cluster-head selection (Algorithms 2-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import (
+    ImprovedDEECSelector,
+    SelectionConfig,
+    energy_threshold,
+    rotation_threshold,
+)
+from repro.core.theory import cluster_radius
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+class TestEnergyThreshold:
+    def test_eq4_values(self):
+        init = np.array([1.0, 2.0])
+        # r = R/2 -> factor 1 - 1/4 = 0.75
+        np.testing.assert_allclose(energy_threshold(10, 20, init), [0.75, 1.5])
+
+    def test_full_at_round_zero(self):
+        np.testing.assert_allclose(energy_threshold(0, 20, np.array([1.0])), [1.0])
+
+    def test_zero_at_final_round(self):
+        np.testing.assert_allclose(energy_threshold(20, 20, np.array([1.0])), [0.0])
+
+    def test_clamps_past_horizon(self):
+        assert energy_threshold(50, 20, np.array([1.0]))[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_threshold(1, 0, np.array([1.0]))
+        with pytest.raises(ValueError):
+            energy_threshold(-1, 10, np.array([1.0]))
+
+
+class TestRotationThreshold:
+    def test_eq3_at_phase_zero(self):
+        """r mod (1/p) == 0 -> T = p."""
+        p = np.array([0.1])
+        assert rotation_threshold(p, 0)[0] == pytest.approx(0.1)
+
+    def test_grows_within_epoch(self):
+        p = np.array([0.1])
+        t_early = rotation_threshold(p, 1)[0]
+        t_late = rotation_threshold(p, 9)[0]
+        assert t_late > t_early > 0.1
+
+    def test_certain_at_epoch_end(self):
+        """Late in the window the threshold saturates at 1."""
+        p = np.array([0.5])
+        assert rotation_threshold(p, 1)[0] == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=0.999),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_a_probability(self, p, r):
+        t = rotation_threshold(np.array([p]), r)[0]
+        assert 0.0 <= t <= 1.0
+
+    def test_rejects_invalid_p(self):
+        with pytest.raises(ValueError):
+            rotation_threshold(np.array([0.0]), 0)
+        with pytest.raises(ValueError):
+            rotation_threshold(np.array([1.5]), 0)
+
+
+def fresh_state(**kwargs) -> NetworkState:
+    return NetworkState(make_config(n_nodes=40, n_clusters=4, **kwargs))
+
+
+class TestImprovedDEECSelector:
+    def test_selects_alive_unique_heads(self):
+        state = fresh_state()
+        sel = ImprovedDEECSelector(4)
+        result = sel.select(state)
+        assert result.k >= 1
+        assert len(np.unique(result.heads)) == result.k
+        assert state.ledger.alive[result.heads].all()
+
+    def test_promotion_tops_up_to_k(self):
+        """Round 0: residual == threshold, so the random draw plus
+        promotion must still produce exactly k heads."""
+        state = fresh_state()
+        sel = ImprovedDEECSelector(4)
+        assert sel.select(state).k == 4
+
+    def test_redundancy_reduction_enforces_spacing(self):
+        state = fresh_state()
+        sel = ImprovedDEECSelector(4)
+        heads = sel.select(state).heads
+        d_c = cluster_radius(4, state.config.deployment.side)
+        pos = state.nodes.positions[heads]
+        for i in range(len(heads)):
+            for j in range(i + 1, len(heads)):
+                assert np.linalg.norm(pos[i] - pos[j]) > d_c
+
+    def test_no_spacing_without_reduction(self):
+        state = fresh_state()
+        cfg = SelectionConfig(use_redundancy_reduction=False)
+        sel = ImprovedDEECSelector(4, cfg)
+        result = sel.select(state)
+        assert result.suppressed.size == 0
+
+    def test_dead_nodes_never_selected(self):
+        state = fresh_state()
+        state.ledger.discharge(np.arange(20), 10.0, "tx")  # kill half
+        sel = ImprovedDEECSelector(4)
+        heads = sel.select(state).heads
+        assert np.all(heads >= 20)
+
+    def test_energy_threshold_excludes_drained_nodes(self):
+        state = fresh_state()
+        state.round_index = 1
+        # Drain node 0 well below the Eq. (4) threshold at r=1.
+        state.ledger.discharge(0, 0.15, "tx")
+        sel = ImprovedDEECSelector(
+            4, SelectionConfig(use_rotation=False, fallback_promotion=False)
+        )
+        p = sel._probabilities(state)
+        eligible = sel._eligibility(state, p)
+        assert not eligible[0]
+
+    def test_rotation_blocks_recent_heads(self):
+        state = fresh_state()
+        state.last_ch_round[:] = 0  # everyone just served
+        state.round_index = 1
+        sel = ImprovedDEECSelector(
+            4,
+            SelectionConfig(use_energy_threshold=False, fallback_promotion=False),
+        )
+        p = sel._probabilities(state)
+        assert not sel._eligibility(state, p).any()
+
+    def test_measured_energy_estimate_keeps_expected_k(self):
+        """With measured E_bar, sum(p_i) == k (the telescoping claim)."""
+        state = fresh_state()
+        sel = ImprovedDEECSelector(4, SelectionConfig(energy_estimate="measured"))
+        p = sel._probabilities(state)
+        assert p.sum() == pytest.approx(4.0, rel=1e-6)
+
+    def test_linear_estimate_uses_eq2(self):
+        state = fresh_state()
+        state.round_index = 0
+        sel = ImprovedDEECSelector(4, SelectionConfig(energy_estimate="linear"))
+        p = sel._probabilities(state)
+        # At r=0 Eq. (2) equals the true average, so sums to k as well.
+        assert p.sum() == pytest.approx(4.0, rel=1e-6)
+
+    def test_hello_charging_spends_energy(self):
+        state = fresh_state()
+        before = state.ledger.total_residual
+        sel = ImprovedDEECSelector(
+            4, SelectionConfig(charge_control_traffic=True)
+        )
+        sel.select(state)
+        assert state.ledger.total_residual < before
+
+    def test_no_hello_charge_by_default(self):
+        state = fresh_state()
+        before = state.ledger.total_residual
+        ImprovedDEECSelector(4).select(state)
+        assert state.ledger.total_residual == before
+
+    def test_selector_validation(self):
+        with pytest.raises(ValueError):
+            ImprovedDEECSelector(0)
+        with pytest.raises(ValueError):
+            SelectionConfig(energy_estimate="bogus")
+        with pytest.raises(ValueError):
+            SelectionConfig(hello_bits=0)
+
+    def test_all_dead_network_yields_no_heads(self):
+        state = fresh_state()
+        state.ledger.discharge(np.arange(state.n), 10.0, "tx")
+        result = ImprovedDEECSelector(4).select(state)
+        assert result.k == 0
+
+    def test_heads_rotate_across_rounds(self):
+        """Energy-aware rotation: over several rounds with drain, the
+        union of heads is much larger than k."""
+        state = fresh_state()
+        sel = ImprovedDEECSelector(4)
+        seen = set()
+        for r in range(6):
+            state.round_index = r
+            result = sel.select(state)
+            seen.update(int(h) for h in result.heads)
+            state.mark_cluster_heads(result.heads)
+            # Heads pay a visible cost so the next election avoids them.
+            state.ledger.discharge(result.heads, 0.02, "tx")
+        assert len(seen) >= 10

@@ -1,0 +1,157 @@
+"""Tests for the paper's analytic results (Eq. 5, Lemma 1, Theorem 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RadioConfig
+from repro.core.theory import (
+    cluster_radius,
+    expected_sq_distance_to_ch,
+    mean_distance_to_point,
+    optimal_cluster_count,
+    optimal_cluster_count_int,
+    round_energy,
+    round_energy_curve,
+)
+
+
+class TestClusterRadius:
+    def test_eq5_value(self):
+        # d_c = cbrt(3 / (4 pi k)) * M
+        assert cluster_radius(5, 200.0) == pytest.approx(
+            (3.0 / (4.0 * math.pi * 5)) ** (1 / 3) * 200.0
+        )
+
+    def test_k_balls_match_cube_volume(self):
+        """Defining property of Eq. (5): k * (4/3) pi d_c^3 == M^3."""
+        k, side = 7, 150.0
+        d_c = cluster_radius(k, side)
+        assert k * (4.0 / 3.0) * math.pi * d_c ** 3 == pytest.approx(side ** 3)
+
+    def test_radius_shrinks_with_k(self):
+        assert cluster_radius(10, 100.0) < cluster_radius(2, 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_radius(0, 100.0)
+        with pytest.raises(ValueError):
+            cluster_radius(1, -1.0)
+
+
+class TestLemma1:
+    def test_closed_form_equals_ball_second_moment(self):
+        """E{d^2} over a uniform ball of radius d_c is (3/5) d_c^2;
+        Lemma 1's constant folds Eq. (5) into that."""
+        k, side = 5, 200.0
+        d_c = cluster_radius(k, side)
+        assert expected_sq_distance_to_ch(k, side) == pytest.approx(
+            0.6 * d_c ** 2
+        )
+
+    def test_monte_carlo_agreement(self):
+        k, side = 4, 120.0
+        d_c = cluster_radius(k, side)
+        rng = np.random.default_rng(0)
+        r = d_c * rng.random(200_000) ** (1 / 3)
+        assert expected_sq_distance_to_ch(k, side) == pytest.approx(
+            float((r ** 2).mean()), rel=0.01
+        )
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_decreases_with_k(self, k):
+        side = 100.0
+        assert expected_sq_distance_to_ch(k + 1, side) < expected_sq_distance_to_ch(
+            k, side
+        )
+
+
+class TestTheorem1:
+    def test_closed_form_is_argmin_of_eq6(self):
+        """The optimisation claim itself, checked numerically."""
+        n, side, bits = 100, 200.0, 4000.0
+        d_bs = 96.0
+        k_cf = optimal_cluster_count(n, side, d_bs)
+        ks = np.arange(1, 40)
+        curve = round_energy_curve(bits, n, ks, side, d_bs)
+        k_num = int(ks[np.argmin(curve)])
+        assert abs(k_cf - k_num) <= 1.0
+
+    @given(
+        st.integers(min_value=20, max_value=600),
+        st.floats(min_value=50.0, max_value=500.0),
+        st.floats(min_value=30.0, max_value=400.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_argmin_property_random_instances(self, n, side, d_bs):
+        k_cf = optimal_cluster_count(n, side, d_bs)
+        if not 1.5 <= k_cf <= 80:  # keep the numeric scan tractable
+            return
+        ks = np.arange(1, min(int(2 * k_cf) + 10, n) + 1)
+        curve = round_energy_curve(4000.0, n, ks, side, d_bs)
+        k_num = int(ks[np.argmin(curve)])
+        assert abs(k_cf - k_num) <= 1.0
+
+    def test_table2_instance_is_about_11(self):
+        """With Table 2's constants and a centred BS the closed form
+        gives ~11 (the paper quotes ~5; see EXPERIMENTS.md)."""
+        d_bs = mean_distance_to_point(200.0, (100.0, 100.0, 100.0),
+                                      n_samples=100_000, rng=0)
+        k = optimal_cluster_count(100, 200.0, d_bs)
+        assert 10.0 < k < 13.0
+
+    def test_int_version_clamps(self):
+        assert optimal_cluster_count_int(3, 200.0, 1e-3) == 3  # huge k clamps to N
+        assert optimal_cluster_count_int(100, 1e-3, 1e6) == 1  # tiny k clamps to 1
+
+    def test_scaling_with_eps_ratio(self):
+        """k_opt ~ (eps_fs / eps_mp)^(3/5) at fixed d_toBS."""
+        base = RadioConfig()
+        boosted = RadioConfig(eps_fs=base.eps_fs * 2)
+        k1 = optimal_cluster_count(100, 200.0, 96.0, base)
+        k2 = optimal_cluster_count(100, 200.0, 96.0, boosted)
+        assert k2 / k1 == pytest.approx(2 ** 0.6, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_cluster_count(0, 200.0, 96.0)
+        with pytest.raises(ValueError):
+            optimal_cluster_count(10, 200.0, 0.0)
+
+
+class TestRoundEnergy:
+    def test_positive_and_finite(self):
+        e = round_energy(4000.0, 100, 5, 200.0, 96.0)
+        assert 0.0 < e < 1.0
+
+    def test_curve_matches_scalar(self):
+        ks = np.array([1, 5, 9])
+        curve = round_energy_curve(4000.0, 100, ks, 200.0, 96.0)
+        scal = [round_energy(4000.0, 100, int(k), 200.0, 96.0) for k in ks]
+        np.testing.assert_allclose(curve, scal)
+
+    def test_curve_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            round_energy_curve(4000.0, 100, np.array([0, 1]), 200.0, 96.0)
+
+
+class TestMeanDistance:
+    def test_centre_of_unit_cube(self):
+        """Known constant: E||U - centre|| ~= 0.4803 for the unit cube."""
+        d = mean_distance_to_point(1.0, (0.5, 0.5, 0.5), n_samples=300_000, rng=1)
+        assert d == pytest.approx(0.4803, abs=0.005)
+
+    def test_scales_linearly_with_side(self):
+        d1 = mean_distance_to_point(1.0, (0.5, 0.5, 0.5), n_samples=100_000, rng=2)
+        d2 = mean_distance_to_point(10.0, (5.0, 5.0, 5.0), n_samples=100_000, rng=2)
+        assert d2 == pytest.approx(10 * d1, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_distance_to_point(0.0, (0, 0, 0))
+        with pytest.raises(ValueError):
+            mean_distance_to_point(1.0, (0, 0, 0), n_samples=0)

@@ -1,0 +1,121 @@
+"""Tests for the large-scale dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.power_plants import (
+    CHINA_BBOX,
+    PowerPlantDataset,
+    load_power_plants,
+    synthetic_china_plants,
+)
+
+
+class TestSyntheticGenerator:
+    def test_count_matches_paper(self):
+        ds = synthetic_china_plants(rng=0)
+        assert ds.n == 2896
+
+    def test_positions_inside_bbox(self):
+        ds = synthetic_china_plants(n=500, rng=1)
+        lon_min, lon_max, lat_min, lat_max = CHINA_BBOX
+        assert np.all((ds.lon >= lon_min) & (ds.lon <= lon_max))
+        assert np.all((ds.lat >= lat_min) & (ds.lat <= lat_max))
+
+    def test_capacities_heavy_tailed(self):
+        ds = synthetic_china_plants(n=2000, rng=2)
+        assert np.all(ds.capacity_mw > 0)
+        assert float(np.median(ds.capacity_mw)) < float(ds.capacity_mw.mean())
+
+    def test_east_coast_denser_than_far_west(self):
+        ds = synthetic_china_plants(n=2000, rng=3)
+        east = (ds.lon > 110).mean()
+        west = (ds.lon < 95).mean()
+        assert east > 2 * west
+
+    def test_heights_bounded(self):
+        ds = synthetic_china_plants(n=300, rng=4, max_height=5.0)
+        assert np.all((ds.height >= 0) & (ds.height <= 5.0))
+
+    def test_deterministic(self):
+        a = synthetic_china_plants(n=100, rng=9)
+        b = synthetic_china_plants(n=100, rng=9)
+        np.testing.assert_array_equal(a.lon, b.lon)
+        np.testing.assert_array_equal(a.capacity_mw, b.capacity_mw)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            synthetic_china_plants(n=0)
+
+
+class TestDatasetMethods:
+    def make(self):
+        return synthetic_china_plants(n=400, rng=5)
+
+    def test_projection_shape_and_origin(self):
+        pos = self.make().projected_positions()
+        assert pos.shape == (400, 3)
+        assert pos[:, 0].min() == pytest.approx(0.0)
+        assert pos[:, 1].min() == pytest.approx(0.0)
+
+    def test_initial_energies_log_mapping(self):
+        ds = self.make()
+        e = ds.initial_energies(0.1, 1.0)
+        assert e.min() == pytest.approx(0.1)
+        assert e.max() == pytest.approx(1.0)
+        # Monotone in capacity.
+        order = np.argsort(ds.capacity_mw)
+        assert np.all(np.diff(e[order]) >= -1e-12)
+
+    def test_initial_energies_validation(self):
+        with pytest.raises(ValueError):
+            self.make().initial_energies(1.0, 0.5)
+
+    def test_to_network_rescales(self):
+        nodes, bs, energies = self.make().to_network(side=250.0)
+        span = nodes.positions.max(axis=0) - nodes.positions.min(axis=0)
+        assert span.max() == pytest.approx(250.0, rel=1e-6)
+        assert energies.shape == (400,)
+        # BS inside the footprint.
+        assert np.all(np.asarray(bs.position) >= nodes.positions.min(axis=0) - 1e-9)
+        assert np.all(np.asarray(bs.position) <= nodes.positions.max(axis=0) + 1e-9)
+
+    def test_to_network_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            self.make().to_network(side=0.0)
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PowerPlantDataset(
+                lon=np.zeros(3), lat=np.zeros(3),
+                capacity_mw=np.ones(2), height=np.zeros(3),
+            )
+
+
+class TestLoader:
+    def test_missing_path_falls_back(self):
+        ds = load_power_plants("/nonexistent/path.csv", n_fallback=50, rng=0)
+        assert ds.n == 50
+
+    def test_none_path_falls_back(self):
+        ds = load_power_plants(None, n_fallback=77, rng=0)
+        assert ds.n == 77
+
+    def test_reads_real_csv(self, tmp_path):
+        csv = tmp_path / "gppd.csv"
+        csv.write_text(
+            "country,latitude,longitude,capacity_mw\n"
+            "CHN,31.2,121.5,500\n"
+            "CHN,39.9,116.4,1200\n"
+            "USA,40.0,-75.0,900\n"
+            "CHN,23.1,113.3,notanumber\n"
+        )
+        ds = load_power_plants(str(csv), rng=1)
+        assert ds.n == 2  # two valid CHN rows
+        np.testing.assert_allclose(sorted(ds.capacity_mw), [500.0, 1200.0])
+
+    def test_csv_with_no_matching_country_falls_back(self, tmp_path):
+        csv = tmp_path / "gppd.csv"
+        csv.write_text("country,latitude,longitude,capacity_mw\nUSA,1,2,3\n")
+        ds = load_power_plants(str(csv), n_fallback=10, rng=0)
+        assert ds.n == 10

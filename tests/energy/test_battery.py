@@ -1,0 +1,146 @@
+"""Tests for the vectorized battery ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.battery import EnergyLedger
+
+
+def make_ledger(n=5, initial=1.0, death_line=0.0):
+    return EnergyLedger(np.full(n, initial), death_line=death_line)
+
+
+class TestConstruction:
+    def test_heterogeneous_initial(self):
+        led = EnergyLedger(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(led.initial, [1.0, 2.0, 3.0])
+
+    def test_rejects_nonpositive_energy(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(np.array([1.0, 0.0]))
+
+    def test_rejects_initial_below_death_line(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(np.array([1.0, 0.05]), death_line=0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(np.array([]))
+
+    def test_views_are_read_only(self):
+        led = make_ledger()
+        with pytest.raises(ValueError):
+            led.residual[0] = 0.0
+        with pytest.raises(ValueError):
+            led.alive[0] = False
+
+
+class TestDischarge:
+    def test_single_node(self):
+        led = make_ledger()
+        led.discharge(2, 0.25, "tx")
+        assert led.residual[2] == pytest.approx(0.75)
+        assert led.residual[0] == 1.0
+
+    def test_vectorized_mask(self):
+        led = make_ledger()
+        mask = np.array([True, False, True, False, True])
+        led.discharge(mask, 0.1, "rx")
+        np.testing.assert_allclose(led.residual, [0.9, 1.0, 0.9, 1.0, 0.9])
+
+    def test_floor_at_zero(self):
+        led = make_ledger()
+        led.discharge(0, 5.0, "tx")
+        assert led.residual[0] == 0.0
+
+    def test_death_at_death_line(self):
+        led = make_ledger(death_line=0.2)
+        led.discharge(0, 0.85, "tx")
+        assert not led.is_alive(0)
+        assert led.any_dead
+
+    def test_dead_node_frozen(self):
+        led = make_ledger(death_line=0.5)
+        led.discharge(0, 0.6, "tx")
+        frozen = led.residual[0]
+        led.discharge(0, 0.2, "tx")
+        assert led.residual[0] == frozen
+
+    def test_negative_amount_rejected(self):
+        led = make_ledger()
+        with pytest.raises(ValueError):
+            led.discharge(0, -0.1)
+
+    def test_unknown_category_rejected(self):
+        led = make_ledger()
+        with pytest.raises(ValueError):
+            led.discharge(0, 0.1, "warp")
+
+    def test_category_accounting_sums_to_consumed(self):
+        led = make_ledger()
+        led.discharge(0, 0.1, "tx")
+        led.discharge(1, 0.2, "rx")
+        led.discharge(2, 0.05, "da")
+        assert led.spent_tx + led.spent_rx + led.spent_da == pytest.approx(
+            led.total_consumed
+        )
+
+    def test_clipped_discharge_records_actual_spend(self):
+        """When a node floors at zero, only the real joules count."""
+        led = make_ledger(initial=0.3)
+        led.discharge(0, 1.0, "tx")
+        assert led.spent_tx == pytest.approx(0.3)
+        assert led.total_consumed == pytest.approx(0.3)
+
+
+class TestDerived:
+    def test_consumption_ratio(self):
+        led = EnergyLedger(np.array([1.0, 2.0]))
+        led.discharge(0, 0.5, "tx")
+        led.discharge(1, 0.5, "tx")
+        np.testing.assert_allclose(led.consumption_ratio(), [0.5, 0.25])
+
+    def test_average_energy_counts_dead_nodes(self):
+        led = make_ledger(n=2, death_line=0.5)
+        led.discharge(0, 0.8, "tx")  # dies with 0.2 left
+        assert led.average_energy() == pytest.approx((0.2 + 1.0) / 2)
+
+    def test_snapshot_is_a_copy(self):
+        led = make_ledger()
+        snap = led.snapshot()
+        led.discharge(0, 0.5, "tx")
+        assert snap[0] == 1.0
+
+    def test_n_alive(self):
+        led = make_ledger(n=3, death_line=0.9)
+        led.discharge(1, 0.5, "tx")
+        assert led.n_alive == 2
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.floats(min_value=0.0, max_value=0.4),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_energy_never_negative_and_monotone(self, ops):
+        """Property: residuals stay in [0, initial] and never increase."""
+        led = make_ledger(n=8, initial=1.0, death_line=0.1)
+        prev = led.snapshot()
+        for idx, amount in ops:
+            led.discharge(idx, amount, "tx")
+            cur = led.snapshot()
+            assert np.all(cur >= 0.0)
+            assert np.all(cur <= prev + 1e-12)
+            prev = cur
+        assert led.total_consumed == pytest.approx(
+            led.total_initial - led.total_residual
+        )

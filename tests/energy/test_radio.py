@@ -1,0 +1,113 @@
+"""Tests for the first-order radio model (Eq. 6, Eq. 18)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RadioConfig
+from repro.energy.radio import (
+    FirstOrderRadio,
+    aggregate_energy,
+    amplifier_energy,
+    receive_energy,
+    transmit_energy,
+)
+
+RADIO = RadioConfig()
+BITS = 4000
+
+
+class TestAmplifierEnergy:
+    def test_free_space_below_d0(self):
+        d = RADIO.d0 / 2
+        expected = BITS * RADIO.eps_fs * d * d
+        assert amplifier_energy(BITS, d, RADIO) == pytest.approx(expected)
+
+    def test_multipath_above_d0(self):
+        d = 2 * RADIO.d0
+        expected = BITS * RADIO.eps_mp * d ** 4
+        assert amplifier_energy(BITS, d, RADIO) == pytest.approx(expected)
+
+    def test_continuous_at_crossover(self):
+        """eps_fs * d0^2 == eps_mp * d0^4 by construction of d0."""
+        eps = 1e-6
+        below = amplifier_energy(BITS, RADIO.d0 - eps, RADIO)
+        above = amplifier_energy(BITS, RADIO.d0 + eps, RADIO)
+        assert below == pytest.approx(above, rel=1e-3)
+
+    def test_zero_distance_costs_nothing(self):
+        assert amplifier_energy(BITS, 0.0, RADIO) == 0.0
+
+    def test_vectorized_matches_scalar(self):
+        ds = np.array([0.0, 10.0, RADIO.d0, 150.0, 400.0])
+        vec = amplifier_energy(BITS, ds, RADIO)
+        scal = [amplifier_energy(BITS, float(d), RADIO) for d in ds]
+        np.testing.assert_allclose(vec, scal)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            amplifier_energy(BITS, -1.0, RADIO)
+
+    @given(st.floats(min_value=0.0, max_value=1e4), st.floats(min_value=0.0, max_value=1e4))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_distance(self, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert amplifier_energy(BITS, lo, RADIO) <= amplifier_energy(
+            BITS, hi, RADIO
+        ) + 1e-30
+
+
+class TestTransmitReceive:
+    def test_transmit_includes_circuit_cost(self):
+        d = 50.0
+        assert transmit_energy(BITS, d, RADIO) == pytest.approx(
+            BITS * RADIO.e_elec + amplifier_energy(BITS, d, RADIO)
+        )
+
+    def test_receive_is_distance_free(self):
+        assert receive_energy(BITS, RADIO) == pytest.approx(BITS * RADIO.e_elec)
+
+    def test_aggregate_uses_e_da(self):
+        assert aggregate_energy(BITS, RADIO) == pytest.approx(BITS * RADIO.e_da)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            receive_energy(-1, RADIO)
+        with pytest.raises(ValueError):
+            aggregate_energy(-1, RADIO)
+
+
+class TestFirstOrderRadio:
+    def test_round_energy_formula(self):
+        """Eq. (6) expanded by hand for a known instance."""
+        radio = FirstOrderRadio(RADIO)
+        n, k = 100, 5
+        d_bs, d_ch_sq = 100.0, 900.0
+        expected = BITS * (
+            2 * n * RADIO.e_elec
+            + n * RADIO.e_da
+            + k * RADIO.eps_mp * d_bs ** 4
+            + n * RADIO.eps_fs * d_ch_sq
+        )
+        assert radio.round_energy(BITS, n, k, d_bs, d_ch_sq) == pytest.approx(expected)
+
+    def test_round_energy_rejects_bad_counts(self):
+        radio = FirstOrderRadio(RADIO)
+        with pytest.raises(ValueError):
+            radio.round_energy(BITS, 0, 5, 100.0, 900.0)
+        with pytest.raises(ValueError):
+            radio.round_energy(BITS, 100, 0, 100.0, 900.0)
+
+    def test_default_config(self):
+        assert FirstOrderRadio().config.e_elec == RADIO.e_elec
+
+    def test_shortcuts_delegate(self):
+        radio = FirstOrderRadio(RADIO)
+        assert radio.tx(BITS, 30.0) == pytest.approx(transmit_energy(BITS, 30.0, RADIO))
+        assert radio.rx(BITS) == pytest.approx(receive_energy(BITS, RADIO))
+        assert radio.da(BITS) == pytest.approx(aggregate_energy(BITS, RADIO))
+        assert radio.amp(BITS, 30.0) == pytest.approx(
+            amplifier_energy(BITS, 30.0, RADIO)
+        )
+        assert radio.d0 == RADIO.d0

@@ -1,0 +1,105 @@
+"""Tests for the lifespan-curve and convergence-X drivers, plus the
+FND/HND/LND metrics they rely on."""
+
+import numpy as np
+import pytest
+
+from repro.core import QLECProtocol
+from repro.experiments import (
+    LifespanCurveConfig,
+    measure_x,
+    render_convergence_study,
+    run_convergence_study,
+    run_lifespan_curves,
+)
+from repro.simulation import run_simulation
+from tests.conftest import make_config
+
+
+class TestLifespanMilestones:
+    def make_lethal_result(self):
+        config = make_config(
+            seed=4, initial_energy=0.01, rounds=20, mean_interarrival=2.0
+        )
+        return run_simulation(config, QLECProtocol())
+
+    def test_milestone_ordering(self):
+        result = self.make_lethal_result()
+        fnd = result.first_death_round
+        hnd = result.half_death_round
+        lnd = result.last_death_round
+        assert fnd is not None
+        if hnd is not None:
+            assert fnd <= hnd
+        if lnd is not None and hnd is not None:
+            assert hnd <= lnd
+
+    def test_alive_curve_monotone_without_harvesting(self):
+        result = self.make_lethal_result()
+        curve = result.alive_curve()
+        assert len(curve) == result.rounds_executed
+        assert np.all(np.diff(curve) <= 0)
+
+    def test_censored_when_nobody_dies(self):
+        config = make_config(seed=5, initial_energy=5.0, rounds=3)
+        result = run_simulation(config, QLECProtocol())
+        assert result.first_death_round is None
+        assert result.half_death_round is None
+        assert result.last_death_round is None
+
+
+class TestLifespanCurveDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_lifespan_curves(
+            LifespanCurveConfig(
+                protocols=("qlec", "kmeans"),
+                seeds=(0,),
+                rounds=12,
+                initial_energy=0.03,
+                mean_interarrival=2.0,
+            )
+        )
+
+    def test_curves_shape(self, result):
+        assert set(result.curves) == {"qlec", "kmeans"}
+        assert result.curves["qlec"].shape == (12,)
+
+    def test_milestones_present(self, result):
+        for name in ("qlec", "kmeans"):
+            fnd, hnd, lnd = result.milestones[name]
+            assert np.isfinite(fnd) or np.isnan(fnd)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "alive nodes per round" in text
+        assert "FND" in text and "HND" in text
+
+
+class TestConvergenceX:
+    def test_expected_mode_converges_fast(self):
+        row = measure_x(n_nodes=40, k=4, mode="expected")
+        assert row.sweeps <= 5
+        assert row.x_updates == row.sweeps * (40 - row.k)
+
+    def test_sampled_mode_needs_many_more_updates(self):
+        """The paper's 'X much larger than N' regime."""
+        expected = measure_x(n_nodes=40, k=4, mode="expected")
+        sampled = measure_x(n_nodes=40, k=4, mode="sampled")
+        assert sampled.x_updates > 5 * expected.x_updates
+        assert sampled.x_over_n > 10.0
+
+    def test_sampled_contraction_matches_learning_rate(self):
+        """Per-sweep contraction ~ (1 - lr) for the partial TD step."""
+        row = measure_x(n_nodes=40, k=4, mode="sampled", learning_rate=0.3)
+        assert row.contraction_rate == pytest.approx(0.7, abs=0.1)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            measure_x(mode="psychic")
+
+    def test_study_and_render(self):
+        rows = run_convergence_study(n_values=(30,), modes=("expected",))
+        text = render_convergence_study(rows)
+        assert "X / N" in text
+        assert len(rows) == 1

@@ -1,0 +1,146 @@
+"""Tests for the 3-D deployment generators."""
+
+import numpy as np
+import pytest
+
+from repro.config import DeploymentConfig
+from repro.network.deployment import (
+    deploy,
+    from_positions,
+    mountain_terrain,
+    underwater_column,
+    uniform_cube,
+)
+
+
+class TestUniformCube:
+    def test_positions_inside_cube(self):
+        nodes, _ = uniform_cube(200, 50.0, 1.0, rng=0)
+        assert np.all(nodes.positions >= 0.0)
+        assert np.all(nodes.positions <= 50.0)
+
+    def test_bs_defaults_to_centre(self):
+        _, bs = uniform_cube(10, 100.0, 1.0, rng=0)
+        assert bs.position == (50.0, 50.0, 50.0)
+
+    def test_explicit_bs(self):
+        _, bs = uniform_cube(10, 100.0, 1.0, rng=0, bs_position=(0.0, 0.0, 0.0))
+        assert bs.position == (0.0, 0.0, 0.0)
+
+    def test_reproducible_with_seed(self):
+        a, _ = uniform_cube(20, 10.0, 1.0, rng=42)
+        b, _ = uniform_cube(20, 10.0, 1.0, rng=42)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_different_seeds_differ(self):
+        a, _ = uniform_cube(20, 10.0, 1.0, rng=1)
+        b, _ = uniform_cube(20, 10.0, 1.0, rng=2)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            uniform_cube(0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            uniform_cube(5, -1.0, 1.0)
+
+    def test_accepts_generator_instance(self):
+        gen = np.random.default_rng(7)
+        nodes, _ = uniform_cube(5, 10.0, 1.0, rng=gen)
+        assert nodes.n == 5
+
+
+class TestMountainTerrain:
+    def test_heights_follow_peaks(self):
+        nodes, bs = mountain_terrain(300, 100.0, 1.0, rng=3)
+        z = nodes.positions[:, 2]
+        assert z.max() > z.min()  # actual relief
+        assert np.all(z >= 0.0) and np.all(z <= 100.0)
+
+    def test_bs_on_summit(self):
+        nodes, bs = mountain_terrain(300, 100.0, 1.0, rng=3)
+        assert bs.position[2] >= nodes.positions[:, 2].max()
+
+    def test_rejects_bad_roughness(self):
+        with pytest.raises(ValueError):
+            mountain_terrain(10, 100.0, 1.0, roughness=1.0)
+
+    def test_rejects_zero_peaks(self):
+        with pytest.raises(ValueError):
+            mountain_terrain(10, 100.0, 1.0, n_peaks=0)
+
+
+class TestUnderwaterColumn:
+    def test_surface_bias(self):
+        nodes, _ = underwater_column(500, 100.0, 1.0, rng=5, surface_bias=3.0)
+        z = nodes.positions[:, 2]
+        # More than half the instruments in the upper half of the column.
+        assert (z > 50.0).mean() > 0.5
+
+    def test_bs_is_surface_buoy(self):
+        _, bs = underwater_column(10, 80.0, 1.0, rng=5)
+        assert bs.position == (40.0, 40.0, 80.0)
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError):
+            underwater_column(10, 80.0, 1.0, surface_bias=0.0)
+
+
+class TestFromPositionsAndDeploy:
+    def test_from_positions_passthrough(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        nodes, bs = from_positions(pos, [1.0, 2.0], (5.0, 5.0, 5.0))
+        np.testing.assert_array_equal(nodes.positions, pos)
+        assert bs.position == (5.0, 5.0, 5.0)
+
+    def test_deploy_uses_config(self):
+        cfg = DeploymentConfig(n_nodes=7, side=30.0, initial_energy=0.5)
+        nodes, bs = deploy(cfg, rng=0)
+        assert nodes.n == 7
+        assert bs.position == (15.0, 15.0, 15.0)
+        assert np.all(nodes.initial_energy == 0.5)
+
+
+class TestHeterogeneousDeployment:
+    def test_homogeneous_by_default(self):
+        import numpy as np
+
+        from repro.network.deployment import deploy
+
+        cfg = DeploymentConfig(n_nodes=20, initial_energy=0.5)
+        nodes, _ = deploy(cfg, rng=0)
+        assert np.all(nodes.initial_energy == 0.5)
+
+    def test_advanced_nodes_get_boosted_battery(self):
+        import numpy as np
+
+        from repro.network.deployment import deploy
+
+        cfg = DeploymentConfig(
+            n_nodes=50, initial_energy=0.2,
+            advanced_fraction=0.2, advanced_factor=1.5,
+        )
+        nodes, _ = deploy(cfg, rng=1)
+        boosted = np.isclose(nodes.initial_energy, 0.5)
+        normal = np.isclose(nodes.initial_energy, 0.2)
+        assert boosted.sum() == 10
+        assert normal.sum() == 40
+
+    def test_fraction_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            DeploymentConfig(advanced_fraction=1.5)
+        with _pytest.raises(ValueError):
+            DeploymentConfig(advanced_factor=-1.0)
+
+    def test_heterogeneous_energies_helper(self):
+        import numpy as np
+
+        from repro.network.deployment import heterogeneous_energies
+
+        cfg = DeploymentConfig(
+            n_nodes=10, initial_energy=1.0,
+            advanced_fraction=0.5, advanced_factor=1.0,
+        )
+        e = heterogeneous_energies(cfg, np.random.default_rng(2))
+        assert sorted(set(np.round(e, 6).tolist())) == [1.0, 2.0]

@@ -1,0 +1,151 @@
+"""Tests for the mobility models and their engine integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import QLECProtocol
+from repro.network.mobility import (
+    GaussMarkov,
+    MobilityConfig,
+    RandomWaypoint,
+    build_mobility,
+)
+from repro.simulation.engine import run_simulation
+from tests.conftest import make_config
+
+SIDE = 100.0
+
+
+def start_positions(n=30, seed=0):
+    return np.random.default_rng(seed).uniform(0, SIDE, size=(n, 3))
+
+
+class TestMobilityConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MobilityConfig(model="teleport")
+        with pytest.raises(ValueError):
+            MobilityConfig(speed=-1.0)
+        with pytest.raises(ValueError):
+            MobilityConfig(memory=1.0)
+        with pytest.raises(ValueError):
+            MobilityConfig(pause_rounds=-1)
+
+    def test_build_dispatch(self):
+        rng = np.random.default_rng(0)
+        assert isinstance(
+            build_mobility(MobilityConfig(model="random_waypoint"), SIDE, rng),
+            RandomWaypoint,
+        )
+        assert isinstance(
+            build_mobility(MobilityConfig(model="gauss_markov"), SIDE, rng),
+            GaussMarkov,
+        )
+
+
+class TestRandomWaypoint:
+    def test_moves_nodes(self):
+        model = RandomWaypoint(SIDE, np.random.default_rng(1), speed=5.0)
+        pos = start_positions()
+        new = model.step(pos, np.ones(30, dtype=bool))
+        assert not np.allclose(new, pos)
+
+    def test_step_bounded_by_speed(self):
+        model = RandomWaypoint(SIDE, np.random.default_rng(1), speed=5.0)
+        pos = start_positions()
+        new = model.step(pos, np.ones(30, dtype=bool))
+        step = np.linalg.norm(new - pos, axis=1)
+        assert np.all(step <= 5.0 * 1.5 + 1e-9)
+
+    def test_stays_in_volume(self):
+        model = RandomWaypoint(SIDE, np.random.default_rng(2), speed=20.0)
+        pos = start_positions()
+        moving = np.ones(30, dtype=bool)
+        for _ in range(50):
+            pos = model.step(pos, moving)
+            assert np.all((pos >= 0.0) & (pos <= SIDE))
+
+    def test_dead_nodes_hold_position(self):
+        model = RandomWaypoint(SIDE, np.random.default_rng(3), speed=5.0)
+        pos = start_positions()
+        moving = np.ones(30, dtype=bool)
+        moving[:10] = False
+        new = model.step(pos, moving)
+        np.testing.assert_array_equal(new[:10], pos[:10])
+
+    def test_eventually_reaches_waypoints(self):
+        """Over many steps a node visits multiple waypoints (its target
+        array changes)."""
+        model = RandomWaypoint(SIDE, np.random.default_rng(4), speed=30.0)
+        pos = start_positions(n=5)
+        moving = np.ones(5, dtype=bool)
+        pos = model.step(pos, moving)
+        first_targets = model._targets.copy()
+        for _ in range(30):
+            pos = model.step(pos, moving)
+        assert not np.allclose(model._targets, first_targets)
+
+    def test_zero_speed_freezes(self):
+        model = RandomWaypoint(SIDE, np.random.default_rng(5), speed=0.0)
+        pos = start_positions()
+        new = model.step(pos, np.ones(30, dtype=bool))
+        np.testing.assert_allclose(new, pos)
+
+
+class TestGaussMarkov:
+    def test_stays_in_volume(self):
+        model = GaussMarkov(SIDE, np.random.default_rng(6), speed=15.0)
+        pos = start_positions()
+        moving = np.ones(30, dtype=bool)
+        for _ in range(50):
+            pos = model.step(pos, moving)
+            assert np.all((pos >= 0.0) & (pos <= SIDE))
+
+    def test_velocity_correlated(self):
+        """High-memory model: consecutive displacements point the same
+        way more often than not."""
+        model = GaussMarkov(SIDE, np.random.default_rng(7), speed=3.0, memory=0.95)
+        pos = np.full((200, 3), SIDE / 2)
+        moving = np.ones(200, dtype=bool)
+        p1 = model.step(pos, moving)
+        d1 = p1 - pos
+        p2 = model.step(p1, moving)
+        d2 = p2 - p1
+        cos = np.einsum("ij,ij->i", d1, d2) / (
+            np.linalg.norm(d1, axis=1) * np.linalg.norm(d2, axis=1) + 1e-12
+        )
+        assert cos.mean() > 0.5
+
+    def test_dead_nodes_hold_position(self):
+        model = GaussMarkov(SIDE, np.random.default_rng(8), speed=5.0)
+        pos = start_positions()
+        moving = np.zeros(30, dtype=bool)
+        np.testing.assert_array_equal(model.step(pos, moving), pos)
+
+
+class TestEngineIntegration:
+    def test_positions_change_during_run(self):
+        config = make_config(seed=1).replace(
+            mobility=MobilityConfig(speed=10.0)
+        )
+        from repro.simulation.engine import SimulationEngine
+
+        engine = SimulationEngine(config, QLECProtocol())
+        before = engine.state.nodes.positions.copy()
+        engine.run()
+        assert not np.allclose(engine.state.nodes.positions, before)
+
+    def test_mobile_run_keeps_invariants(self):
+        config = make_config(seed=2).replace(
+            mobility=MobilityConfig(model="gauss_markov", speed=8.0)
+        )
+        result = run_simulation(config, QLECProtocol())
+        result.validate()
+
+    def test_static_config_keeps_positions(self):
+        from repro.simulation.engine import SimulationEngine
+
+        engine = SimulationEngine(make_config(seed=3), QLECProtocol())
+        before = engine.state.nodes.positions.copy()
+        engine.run()
+        np.testing.assert_array_equal(engine.state.nodes.positions, before)

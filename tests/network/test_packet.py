@@ -1,0 +1,67 @@
+"""Tests for packet records and aggregate statistics."""
+
+import pytest
+
+from repro.network.packet import PacketRecord, PacketStats, PacketStatus
+
+
+class TestPacketRecord:
+    def test_latency_requires_delivery(self):
+        pkt = PacketRecord(source=1, born_slot=10)
+        assert pkt.latency() is None
+        pkt.delivered_slot = 14
+        assert pkt.latency() == 4
+
+    def test_initial_state(self):
+        pkt = PacketRecord(source=0, born_slot=0)
+        assert pkt.status is PacketStatus.IN_FLIGHT
+        assert pkt.hops == 0
+        assert pkt.retries == 0
+
+
+class TestPacketStats:
+    def test_delivery_rate_empty_network_is_one(self):
+        assert PacketStats().delivery_rate == 1.0
+
+    def test_delivery_rate(self):
+        s = PacketStats(generated=10, delivered=7)
+        assert s.delivery_rate == pytest.approx(0.7)
+
+    def test_record_delivery_accumulates(self):
+        s = PacketStats(generated=2)
+        s.record_delivery(3, 2)
+        s.record_delivery(5, 1)
+        assert s.delivered == 2
+        assert s.mean_latency == pytest.approx(4.0)
+        assert s.mean_hops == pytest.approx(1.5)
+        assert s.latencies == [3, 5]
+
+    def test_record_delivery_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            PacketStats().record_delivery(-1, 1)
+
+    def test_mean_latency_zero_when_no_delivery(self):
+        assert PacketStats(generated=5).mean_latency == 0.0
+
+    def test_dropped_sums_all_causes(self):
+        s = PacketStats(
+            dropped_channel=1, dropped_queue=2, dropped_dead=3, expired=4
+        )
+        assert s.dropped == 10
+
+    def test_merge(self):
+        a = PacketStats(generated=5, delivered=2, dropped_queue=1)
+        a.record_delivery(2, 1)
+        b = PacketStats(generated=3, dropped_channel=2)
+        a.merge(b)
+        assert a.generated == 8
+        assert a.dropped_channel == 2
+        assert a.dropped_queue == 1
+
+    def test_validate_catches_overflow(self):
+        s = PacketStats(generated=1, delivered=2)
+        with pytest.raises(AssertionError):
+            s.validate()
+
+    def test_validate_allows_in_flight(self):
+        PacketStats(generated=5, delivered=2).validate()  # 3 still flying

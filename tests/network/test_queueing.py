@@ -1,0 +1,94 @@
+"""Tests for the finite cluster-head FIFO queues."""
+
+import pytest
+
+from repro.network.packet import PacketRecord, PacketStatus
+from repro.network.queueing import CHQueue, QueueBank
+
+
+def pkt(i=0):
+    return PacketRecord(source=i, born_slot=0)
+
+
+class TestCHQueue:
+    def test_fifo_order(self):
+        q = CHQueue(capacity=5)
+        first, second = pkt(1), pkt(2)
+        q.offer(first)
+        q.offer(second)
+        assert q.serve(2) == [first, second]
+
+    def test_offer_beyond_capacity_drops(self):
+        q = CHQueue(capacity=1)
+        assert q.offer(pkt())
+        overflow = pkt()
+        assert not q.offer(overflow)
+        assert overflow.status is PacketStatus.DROPPED_QUEUE
+        assert q.drops == 1
+
+    def test_zero_capacity_drops_everything(self):
+        q = CHQueue(capacity=0)
+        assert not q.offer(pkt())
+        assert len(q) == 0
+
+    def test_serve_limited(self):
+        q = CHQueue(capacity=10)
+        for i in range(6):
+            q.offer(pkt(i))
+        assert len(q.serve(4)) == 4
+        assert len(q) == 2
+
+    def test_serve_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CHQueue(2).serve(-1)
+
+    def test_drain_empties(self):
+        q = CHQueue(capacity=10)
+        for i in range(3):
+            q.offer(pkt(i))
+        drained = q.drain()
+        assert len(drained) == 3
+        assert len(q) == 0
+
+    def test_peak_length_tracks_high_water(self):
+        q = CHQueue(capacity=10)
+        for i in range(4):
+            q.offer(pkt(i))
+        q.serve(4)
+        q.offer(pkt())
+        assert q.peak_length == 4
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            CHQueue(-1)
+
+
+class TestQueueBank:
+    def test_contains_and_getitem(self):
+        bank = QueueBank([3, 5], capacity=4)
+        assert 3 in bank and 5 in bank and 7 not in bank
+        assert isinstance(bank[3], CHQueue)
+
+    def test_total_drops(self):
+        bank = QueueBank([1], capacity=1)
+        bank[1].offer(pkt())
+        bank[1].offer(pkt())
+        assert bank.total_drops == 1
+
+    def test_queue_length_unknown_head_is_zero(self):
+        bank = QueueBank([1], capacity=1)
+        assert bank.queue_length(99) == 0
+
+    def test_total_queued(self):
+        bank = QueueBank([1, 2], capacity=5)
+        bank[1].offer(pkt())
+        bank[2].offer(pkt())
+        bank[2].offer(pkt())
+        assert bank.total_queued == 3
+
+    def test_numpy_int_keys(self):
+        import numpy as np
+
+        bank = QueueBank(np.array([4, 6]), capacity=2)
+        assert 4 in bank
+        assert bank.queue_length(np.int64(4)) == 0

@@ -1,0 +1,114 @@
+"""Tests for vectorized geometry (Topology, pairwise distances)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.spatial.distance import cdist
+
+from repro.network.deployment import uniform_cube
+from repro.network.node import BaseStation, NodeArray
+from repro.network.topology import Topology, distances_to_point, pairwise_distances
+
+
+class TestPairwiseDistances:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((17, 3)) * 100
+        b = rng.random((9, 3)) * 100
+        np.testing.assert_allclose(
+            pairwise_distances(a, b), cdist(a, b), atol=1e-8
+        )
+
+    def test_self_distances_zero_diagonal(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((8, 3))
+        d = pairwise_distances(a, a)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-6)
+
+    def test_no_negative_sqrt_artifacts(self):
+        # Identical points stress the expanded-form round-off guard.
+        a = np.tile([[1e3, 1e3, 1e3]], (4, 1))
+        d = pairwise_distances(a, a)
+        assert np.all(np.isfinite(d)) and np.all(d >= 0.0)
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((n, 3)) * 50
+        d = pairwise_distances(a, a)
+        np.testing.assert_allclose(d, d.T, atol=1e-8)
+
+
+class TestDistancesToPoint:
+    def test_known_values(self):
+        pts = np.array([[0.0, 0.0, 0.0], [3.0, 4.0, 0.0]])
+        d = distances_to_point(pts, np.zeros(3))
+        np.testing.assert_allclose(d, [0.0, 5.0])
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            distances_to_point(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestTopology:
+    @pytest.fixture
+    def topo(self):
+        nodes, bs = uniform_cube(25, 100.0, 1.0, rng=2)
+        return Topology(nodes, bs)
+
+    def test_d_to_bs_matches_direct(self, topo):
+        expected = np.linalg.norm(
+            topo.nodes.positions - topo.bs.xyz, axis=1
+        )
+        np.testing.assert_allclose(topo.d_to_bs, expected)
+
+    def test_d_to_bs_read_only(self, topo):
+        with pytest.raises(ValueError):
+            topo.d_to_bs[0] = 0.0
+
+    def test_full_matrix_cached(self, topo):
+        assert topo.full_matrix() is topo.full_matrix()
+
+    def test_subset_consistent_with_full(self, topo):
+        subset = np.array([0, 3, 7])
+        np.testing.assert_allclose(
+            topo.distances_to_subset(subset), topo.full_matrix()[:, subset]
+        )
+
+    def test_subset_without_full_materialisation(self):
+        nodes, bs = uniform_cube(10, 50.0, 1.0, rng=3)
+        topo = Topology(nodes, bs)
+        d = topo.distances_to_subset(np.array([1, 2]))
+        assert d.shape == (10, 2)
+        assert topo._full is None  # lazy path not triggered
+
+    def test_empty_subset(self, topo):
+        assert topo.distances_to_subset(np.array([], dtype=int)).shape == (25, 0)
+
+    def test_within_radius_excludes_centre(self, topo):
+        neighbours = topo.within_radius(0, 1e9)
+        assert 0 not in neighbours
+        assert neighbours.size == topo.n - 1
+
+    def test_within_radius_zero(self, topo):
+        assert topo.within_radius(0, 0.0).size == 0
+
+    def test_within_radius_rejects_negative(self, topo):
+        with pytest.raises(ValueError):
+            topo.within_radius(0, -1.0)
+
+    def test_mean_d_to_bs(self, topo):
+        assert topo.mean_d_to_bs == pytest.approx(float(topo.d_to_bs.mean()))
+
+    def test_grid_within_radius_exact(self):
+        pos = np.array(
+            [[0, 0, 0], [1, 0, 0], [2, 0, 0], [5, 0, 0]], dtype=float
+        )
+        topo = Topology(NodeArray(pos, 1.0), BaseStation((0.0, 0.0, 0.0)))
+        np.testing.assert_array_equal(topo.within_radius(0, 2.0), [1, 2])

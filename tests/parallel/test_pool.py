@@ -1,0 +1,66 @@
+"""Tests for the process-pool sweep executor."""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import default_workers, run_tasks
+
+
+def square(x):
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+def boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestRunTasks:
+    def test_serial_matches_expected(self):
+        assert run_tasks(square, [(i,) for i in range(6)], serial=True) == [
+            0, 1, 4, 9, 16, 25,
+        ]
+
+    def test_parallel_matches_serial(self):
+        args = [(i,) for i in range(12)]
+        serial = run_tasks(square, args, serial=True)
+        parallel = run_tasks(square, args, max_workers=2)
+        assert serial == parallel
+
+    def test_results_in_submission_order(self):
+        args = [(i,) for i in range(20)]
+        assert run_tasks(square, args, max_workers=3) == [i * i for i in range(20)]
+
+    def test_multi_arg_tasks(self):
+        assert run_tasks(add, [(1, 2), (3, 4)], serial=True) == [3, 7]
+
+    def test_empty_input(self):
+        assert run_tasks(square, []) == []
+
+    def test_single_task_runs_inline(self):
+        assert run_tasks(square, [(5,)]) == [25]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_tasks(boom, [(1,)], serial=True)
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValueError):
+            run_tasks(square, [(1,), (2,)], max_workers=2, chunksize=0)
+
+
+class TestDefaultWorkers:
+    def test_explicit_value(self):
+        assert default_workers(3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            default_workers(0)
+
+    def test_auto_leaves_headroom(self):
+        w = default_workers()
+        assert 1 <= w <= (os.cpu_count() or 2)

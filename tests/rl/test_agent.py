@@ -1,0 +1,111 @@
+"""Tests for the sampled Q-learning agent (validated against value
+iteration, the paper's Eq. 13-15 solved exactly)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.agent import EpsilonSchedule, QLearningAgent, train_on_mdp
+from repro.rl.mdp import FiniteMDP, value_iteration
+
+
+def make_gridline_mdp(n=5, gamma=0.9):
+    """1-D corridor: move left/right, reward 1 on entering the right
+    end (absorbing).  V*(s) = gamma^(n-1-s) for non-terminal s."""
+    t = np.zeros((2, n, n))
+    r = np.zeros((2, n, n))
+    for s in range(n):
+        left = max(s - 1, 0)
+        right = min(s + 1, n - 1)
+        t[0, s, left] = 1.0
+        t[1, s, right] = 1.0
+        if right == n - 1 and s != n - 1:
+            r[1, s, right] = 1.0
+    # Absorbing right end.
+    t[0, n - 1] = 0.0
+    t[0, n - 1, n - 1] = 1.0
+    t[1, n - 1] = 0.0
+    t[1, n - 1, n - 1] = 1.0
+    r[:, n - 1, :] = 0.0
+    terminal = np.zeros(n, dtype=bool)
+    terminal[n - 1] = True
+    return FiniteMDP(t, r, gamma, terminal)
+
+
+class TestEpsilonSchedule:
+    def test_linear_decay(self):
+        sched = EpsilonSchedule(start=1.0, end=0.0, decay_steps=10)
+        assert sched.value(0) == 1.0
+        assert sched.value(5) == pytest.approx(0.5)
+        assert sched.value(10) == 0.0
+        assert sched.value(999) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonSchedule(start=0.1, end=0.5)
+        with pytest.raises(ValueError):
+            EpsilonSchedule(decay_steps=0)
+
+
+class TestQLearningAgent:
+    def test_update_moves_toward_target(self):
+        agent = QLearningAgent(2, 2, gamma=0.0, learning_rate=0.5,
+                               rng=np.random.default_rng(0))
+        err = agent.update(0, 1, reward=1.0, next_state=1)
+        assert agent.q.get(0, 1) == pytest.approx(0.5)
+        assert err == pytest.approx(1.0)
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            QLearningAgent(2, 2, gamma=2.0)
+        with pytest.raises(ValueError):
+            QLearningAgent(2, 2, gamma=0.9, learning_rate=0.0)
+
+    def test_exploration_respects_epsilon_zero(self):
+        agent = QLearningAgent(
+            1, 3, gamma=0.9,
+            epsilon=EpsilonSchedule(start=0.0, end=0.0, decay_steps=1),
+            rng=np.random.default_rng(0),
+        )
+        agent.q.set(0, 2, 1.0)
+        assert all(agent.select_action(0) == 2 for _ in range(20))
+
+    def test_converges_to_value_iteration(self):
+        """The headline guarantee: sampled Q-learning reaches the
+        Bellman fixed point of §3.3 on a small MDP."""
+        mdp = make_gridline_mdp(n=5, gamma=0.9)
+        agent = QLearningAgent(
+            mdp.n_states, mdp.n_actions, gamma=0.9, learning_rate=0.2,
+            epsilon=EpsilonSchedule(start=1.0, end=0.3, decay_steps=2000),
+            rng=np.random.default_rng(7),
+        )
+        train_on_mdp(agent, mdp, episodes=800, max_steps=30)
+        v_star, _ = value_iteration(mdp)
+        v_learned = agent.q.v()
+        v_learned[mdp.terminal] = 0.0
+        np.testing.assert_allclose(v_learned, v_star, atol=0.05)
+
+    def test_learned_policy_is_optimal(self):
+        mdp = make_gridline_mdp(n=4, gamma=0.9)
+        agent = QLearningAgent(
+            mdp.n_states, mdp.n_actions, gamma=0.9, learning_rate=0.3,
+            rng=np.random.default_rng(3),
+        )
+        train_on_mdp(agent, mdp, episodes=500, max_steps=20)
+        policy = agent.greedy_policy()
+        # Optimal corridor policy: always move right (action 1).
+        assert list(policy[:-1]) == [1] * (mdp.n_states - 1)
+
+    def test_td_errors_shrink(self):
+        mdp = make_gridline_mdp(n=4)
+        agent = QLearningAgent(
+            mdp.n_states, mdp.n_actions, gamma=0.9, learning_rate=0.2,
+            rng=np.random.default_rng(1),
+        )
+        errors = train_on_mdp(agent, mdp, episodes=600, max_steps=20)
+        assert errors[-100:].mean() < errors[:100].mean()
+
+    def test_train_rejects_zero_episodes(self):
+        mdp = make_gridline_mdp()
+        agent = QLearningAgent(mdp.n_states, mdp.n_actions, gamma=0.9)
+        with pytest.raises(ValueError):
+            train_on_mdp(agent, mdp, episodes=0)

@@ -1,0 +1,62 @@
+"""Tests for the convergence tracker (the X of Lemma 3)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.convergence import ConvergenceTracker
+
+
+class TestConvergenceTracker:
+    def test_first_observation_is_infinite_delta(self):
+        t = ConvergenceTracker()
+        assert t.observe(np.zeros(3)) == float("inf")
+        assert not t.converged
+
+    def test_detects_convergence(self):
+        t = ConvergenceTracker(tol=1e-3)
+        t.observe(np.array([1.0]))
+        t.observe(np.array([1.5]))
+        t.observe(np.array([1.5000001]))
+        assert t.converged
+        assert t.converged_at == 3
+
+    def test_patience(self):
+        t = ConvergenceTracker(tol=1e-3, patience=2)
+        t.observe(np.array([0.0]))
+        t.observe(np.array([0.0]))
+        assert not t.converged  # one quiet delta, need two
+        t.observe(np.array([0.0]))
+        assert t.converged
+
+    def test_regression_undeclares(self):
+        t = ConvergenceTracker(tol=1e-3)
+        t.observe(np.array([0.0]))
+        t.observe(np.array([0.0]))
+        assert t.converged
+        t.observe(np.array([5.0]))
+        assert not t.converged
+
+    def test_deltas_recorded(self):
+        t = ConvergenceTracker()
+        t.observe(np.array([0.0]))
+        t.observe(np.array([2.0]))
+        assert t.deltas[1] == pytest.approx(2.0)
+
+    def test_snapshot_is_copied(self):
+        t = ConvergenceTracker(tol=1e-6)
+        arr = np.array([1.0])
+        t.observe(arr)
+        arr[0] = 99.0  # mutating the caller's array must not corrupt
+        assert t.observe(np.array([1.0])) == pytest.approx(0.0)
+
+    def test_reset(self):
+        t = ConvergenceTracker()
+        t.observe(np.array([1.0]))
+        t.reset()
+        assert t.observations == 0 and not t.deltas
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker(tol=0.0)
+        with pytest.raises(ValueError):
+            ConvergenceTracker(patience=0)

@@ -1,0 +1,118 @@
+"""Tests for action-selection policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.policies import EpsilonGreedyPolicy, GreedyPolicy, SoftmaxPolicy
+
+
+Q = np.array([0.1, 0.9, 0.3])
+
+
+class TestGreedy:
+    def test_picks_argmax(self):
+        assert GreedyPolicy().select(Q) == 1
+
+    def test_random_tiebreak(self):
+        rng = np.random.default_rng(0)
+        q = np.array([1.0, 1.0, 0.0])
+        picks = {GreedyPolicy().select(q, rng) for _ in range(40)}
+        assert picks == {0, 1}
+
+    def test_deterministic_without_rng(self):
+        q = np.array([1.0, 1.0])
+        assert GreedyPolicy().select(q) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GreedyPolicy().select(np.array([]))
+
+
+class TestEpsilonGreedy:
+    def test_zero_epsilon_is_greedy(self):
+        rng = np.random.default_rng(1)
+        policy = EpsilonGreedyPolicy(0.0)
+        assert all(policy.select(Q, rng) == 1 for _ in range(20))
+
+    def test_one_epsilon_is_uniform(self):
+        rng = np.random.default_rng(2)
+        policy = EpsilonGreedyPolicy(1.0)
+        picks = [policy.select(Q, rng) for _ in range(300)]
+        counts = np.bincount(picks, minlength=3)
+        assert np.all(counts > 60)
+
+    def test_exploration_rate_approximate(self):
+        rng = np.random.default_rng(3)
+        policy = EpsilonGreedyPolicy(0.3)
+        picks = [policy.select(Q, rng) for _ in range(3000)]
+        nongreedy = sum(1 for a in picks if a != 1)
+        # Non-greedy picks ~ eps * 2/3.
+        assert nongreedy / 3000 == pytest.approx(0.2, abs=0.04)
+
+    def test_without_rng_falls_back_greedy(self):
+        assert EpsilonGreedyPolicy(1.0).select(Q) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedyPolicy(-0.1)
+        with pytest.raises(ValueError):
+            EpsilonGreedyPolicy(1.1)
+
+
+class TestSoftmax:
+    def test_probabilities_sum_to_one(self):
+        p = SoftmaxPolicy(1.0).probabilities(Q)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_low_temperature_near_greedy(self):
+        rng = np.random.default_rng(4)
+        policy = SoftmaxPolicy(1e-3)
+        picks = [policy.select(Q, rng) for _ in range(100)]
+        assert all(a == 1 for a in picks)
+
+    def test_high_temperature_near_uniform(self):
+        p = SoftmaxPolicy(1e6).probabilities(Q)
+        np.testing.assert_allclose(p, 1 / 3, atol=1e-4)
+
+    def test_numerical_stability_large_q(self):
+        p = SoftmaxPolicy(1.0).probabilities(np.array([1e9, 1e9 - 1.0]))
+        assert np.all(np.isfinite(p))
+        assert p[0] > p[1]
+
+    def test_without_rng_greedy(self):
+        assert SoftmaxPolicy(1.0).select(Q) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftmaxPolicy(0.0)
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_q(self, tau):
+        """Higher Q never gets lower probability."""
+        p = SoftmaxPolicy(tau).probabilities(Q)
+        order = np.argsort(Q)
+        assert np.all(np.diff(p[order]) >= -1e-12)
+
+
+class TestRouterIntegration:
+    def test_router_accepts_softmax(self):
+        from repro.core import QLECProtocol
+        from repro.simulation.engine import run_simulation
+        from tests.conftest import make_config
+
+        result = run_simulation(
+            make_config(seed=3), QLECProtocol(policy=SoftmaxPolicy(0.5))
+        )
+        result.validate()
+
+    def test_explicit_policy_overrides_epsilon(self):
+        from repro.core import QLECProtocol
+        from repro.simulation.state import NetworkState
+        from tests.conftest import make_config
+
+        proto = QLECProtocol(epsilon=0.5, policy=GreedyPolicy())
+        proto.prepare(NetworkState(make_config()))
+        assert isinstance(proto.router.policy, GreedyPolicy)

@@ -1,0 +1,93 @@
+"""Tests for V/Q table storage and update accounting."""
+
+import numpy as np
+import pytest
+
+from repro.rl.qtable import QTable, VTable
+
+
+class TestVTable:
+    def test_initialises_to_zero(self):
+        v = VTable(5)
+        assert np.all(v.values == 0.0)
+
+    def test_bs_index_is_n(self):
+        v = VTable(5)
+        assert v.bs_index == 5
+        v[5] = 3.0  # BS slot exists
+        assert v[5] == 3.0
+
+    def test_update_count_is_the_X_of_lemma3(self):
+        v = VTable(4)
+        v[0] = 1.0
+        v[1] = 2.0
+        v[0] = 3.0
+        assert v.update_count == 3
+
+    def test_get_many_vectorized(self):
+        v = VTable(3)
+        v[1] = 5.0
+        np.testing.assert_allclose(v.get_many(np.array([0, 1, 3])), [0.0, 5.0, 0.0])
+
+    def test_reset(self):
+        v = VTable(3)
+        v[0] = 9.0
+        v.reset()
+        assert np.all(v.values == 0.0)
+        assert v.update_count == 0
+
+    def test_values_read_only(self):
+        v = VTable(2)
+        with pytest.raises(ValueError):
+            v.values[0] = 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            VTable(0)
+
+    def test_bs_value_constructor(self):
+        v = VTable(2, bs_value=7.0)
+        assert v[2] == 7.0
+
+
+class TestQTable:
+    def test_set_get(self):
+        q = QTable(3, 2)
+        q.set(1, 0, 4.5)
+        assert q.get(1, 0) == 4.5
+        assert q.update_count == 1
+
+    def test_best_action_deterministic_when_unique(self):
+        q = QTable(1, 3)
+        q.set(0, 2, 1.0)
+        assert q.best_action(0) == 2
+
+    def test_best_action_random_tiebreak(self):
+        q = QTable(1, 4)
+        rng = np.random.default_rng(0)
+        picks = {q.best_action(0, rng) for _ in range(50)}
+        assert len(picks) > 1  # ties broken randomly over the 4 zeros
+
+    def test_best_action_without_rng_takes_first(self):
+        q = QTable(1, 3)
+        assert q.best_action(0) == 0
+
+    def test_v_is_row_max(self):
+        q = QTable(2, 2)
+        q.set(0, 1, 3.0)
+        q.set(1, 0, -1.0)
+        q.set(1, 1, -2.0)
+        np.testing.assert_allclose(q.v(), [3.0, -1.0])
+
+    def test_initial_value(self):
+        q = QTable(2, 2, initial=0.5)
+        assert q.get(0, 0) == 0.5
+
+    def test_row_read_only(self):
+        q = QTable(2, 2)
+        with pytest.raises(ValueError):
+            q.row(0)[0] = 1.0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            QTable(0, 1)

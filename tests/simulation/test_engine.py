@@ -1,0 +1,198 @@
+"""Integration tests for the simulation engine.
+
+These exercise the full data plane — generation, relay choice, channel,
+queues, fusion, uplink — for every protocol, and pin down the engine's
+conservation invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DEECProtocol,
+    DirectProtocol,
+    FCMProtocol,
+    KMeansProtocol,
+    LEACHProtocol,
+)
+from repro.config import QueueConfig
+from repro.core import QLECProtocol
+from repro.simulation.engine import SimulationEngine, run_simulation
+from tests.conftest import make_config
+
+ALL_PROTOCOLS = [
+    QLECProtocol,
+    FCMProtocol,
+    KMeansProtocol,
+    LEACHProtocol,
+    DEECProtocol,
+    DirectProtocol,
+]
+
+
+class TestEveryProtocolRuns:
+    @pytest.mark.parametrize("protocol_cls", ALL_PROTOCOLS)
+    def test_run_completes_with_valid_result(self, protocol_cls):
+        result = run_simulation(make_config(seed=3), protocol_cls())
+        result.validate()
+        assert result.rounds_executed == 5
+        assert 0.0 <= result.delivery_rate <= 1.0
+        assert result.total_energy >= 0.0
+        assert len(result.per_round) == 5
+
+    @pytest.mark.parametrize("protocol_cls", ALL_PROTOCOLS)
+    def test_packet_conservation(self, protocol_cls):
+        """generated == delivered + dropped + expired (end of run)."""
+        result = run_simulation(make_config(seed=4), protocol_cls())
+        p = result.packets
+        assert p.generated == p.delivered + p.dropped
+
+
+class TestDeterminism:
+    def test_same_seed_bitwise_identical(self):
+        a = run_simulation(make_config(seed=11), QLECProtocol())
+        b = run_simulation(make_config(seed=11), QLECProtocol())
+        assert a.summary() == b.summary()
+        np.testing.assert_array_equal(a.residual_final, b.residual_final)
+
+    def test_different_seed_differs(self):
+        a = run_simulation(make_config(seed=11), QLECProtocol())
+        b = run_simulation(make_config(seed=12), QLECProtocol())
+        assert a.packets.generated != b.packets.generated
+
+    def test_traffic_identical_across_protocols(self):
+        """Fairness: two protocols with identical head behaviour see the
+        same offered load under one seed."""
+        a = run_simulation(make_config(seed=13), DirectProtocol())
+        b = run_simulation(make_config(seed=13), DirectProtocol())
+        assert a.packets.generated == b.packets.generated
+
+
+class TestEnergyAccounting:
+    def test_round_energies_sum_to_total(self):
+        result = run_simulation(make_config(seed=5), QLECProtocol())
+        assert sum(r.energy_consumed for r in result.per_round) == pytest.approx(
+            result.total_energy
+        )
+
+    def test_more_traffic_more_energy(self):
+        lo = run_simulation(make_config(seed=6, mean_interarrival=16.0), KMeansProtocol())
+        hi = run_simulation(make_config(seed=6, mean_interarrival=2.0), KMeansProtocol())
+        assert hi.total_energy > lo.total_energy
+
+    def test_silent_network_spends_nothing(self):
+        config = make_config(seed=6, mean_interarrival=1e9)
+        result = run_simulation(config, DirectProtocol())
+        assert result.total_energy == pytest.approx(0.0)
+        assert result.delivery_rate == 1.0  # vacuous
+
+
+class TestDeathHandling:
+    def test_stop_on_death_halts_early(self):
+        config = make_config(seed=7, initial_energy=0.01, rounds=50,
+                             mean_interarrival=2.0)
+        result = run_simulation(config, KMeansProtocol(), stop_on_death=True)
+        assert result.first_death_round is not None
+        assert result.rounds_executed == result.first_death_round
+
+    def test_continue_after_death_records_round(self):
+        config = make_config(seed=7, initial_energy=0.01, rounds=10,
+                             mean_interarrival=2.0)
+        result = run_simulation(config, KMeansProtocol(), stop_on_death=False)
+        assert result.first_death_round is not None
+        assert result.rounds_executed == 10
+
+    def test_dead_network_generates_nothing(self):
+        config = make_config(seed=8, initial_energy=0.001, rounds=8,
+                             mean_interarrival=1.0)
+        result = run_simulation(config, DirectProtocol())
+        # Once everyone is dead, rounds stop producing packets.
+        last = result.per_round[-1]
+        if result.n_alive_final == 0:
+            assert last.packets.generated == 0
+
+
+class TestQueueAndBSCapacity:
+    def test_zero_bs_budget_blocks_direct(self):
+        config = make_config(seed=9).replace(
+            queue=QueueConfig(bs_capacity_per_slot=0)
+        )
+        result = run_simulation(config, DirectProtocol())
+        assert result.packets.delivered == 0
+        assert result.packets.dropped_queue > 0
+
+    def test_tiny_queue_capacity_drops(self):
+        config = make_config(seed=9, mean_interarrival=2.0).replace(
+            queue=QueueConfig(capacity=1, service_rate=1)
+        )
+        result = run_simulation(config, KMeansProtocol())
+        assert result.packets.dropped_queue + result.packets.expired > 0
+
+    def test_generous_queue_no_queue_drops(self):
+        config = make_config(seed=9, mean_interarrival=16.0).replace(
+            queue=QueueConfig(capacity=10_000, service_rate=10_000)
+        )
+        result = run_simulation(config, KMeansProtocol())
+        assert result.packets.dropped_queue == 0
+        assert result.packets.expired == 0
+
+
+class TestARQ:
+    def test_retries_improve_delivery(self):
+        base = make_config(seed=10, n_nodes=20, side=300.0,
+                           mean_interarrival=8.0)
+        no_arq = run_simulation(base.replace(max_retries=0), DirectProtocol())
+        arq = run_simulation(base.replace(max_retries=3), DirectProtocol())
+        assert arq.delivery_rate >= no_arq.delivery_rate
+
+    def test_retries_cost_energy(self):
+        base = make_config(seed=10, n_nodes=20, side=300.0,
+                           mean_interarrival=8.0)
+        no_arq = run_simulation(base.replace(max_retries=0), DirectProtocol())
+        arq = run_simulation(base.replace(max_retries=3), DirectProtocol())
+        assert arq.total_energy > no_arq.total_energy
+
+
+class TestLatency:
+    def test_latency_positive_when_delivered(self):
+        result = run_simulation(make_config(seed=12), QLECProtocol())
+        if result.packets.delivered:
+            assert result.mean_latency >= 1.0
+
+    def test_congestion_raises_latency(self):
+        idle = run_simulation(
+            make_config(seed=13, mean_interarrival=16.0), KMeansProtocol()
+        )
+        busy = run_simulation(
+            make_config(seed=13, mean_interarrival=1.0), KMeansProtocol()
+        )
+        assert busy.mean_latency > idle.mean_latency
+
+
+class TestPropertyInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        lam=st.sampled_from([1.0, 4.0, 16.0]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_random_scenarios_hold_invariants(self, seed, lam):
+        config = make_config(
+            n_nodes=15, rounds=3, seed=seed, mean_interarrival=lam
+        )
+        result = run_simulation(config, QLECProtocol())
+        result.validate()
+        p = result.packets
+        assert p.generated == p.delivered + p.dropped
+        assert np.all(result.residual_final >= 0.0)
+
+
+class TestRunRound:
+    def test_incremental_rounds(self):
+        engine = SimulationEngine(make_config(seed=14), QLECProtocol())
+        r0 = engine.run_round()
+        r1 = engine.run_round()
+        assert r0.round_index == 0
+        assert r1.round_index == 1
+        assert engine.state.round_index == 2

@@ -1,0 +1,66 @@
+"""Tests for the named scenario catalog."""
+
+import numpy as np
+import pytest
+
+from repro.core import QLECProtocol
+from repro.simulation import (
+    SimulationEngine,
+    build_scenario,
+    scenario_names,
+)
+
+
+class TestCatalog:
+    def test_names_sorted_and_nonempty(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert "table2" in names
+        assert "underwater" in names
+
+    def test_unknown_rejected_with_hint(self):
+        with pytest.raises(KeyError, match="table2"):
+            build_scenario("marsbase")
+
+    def test_table2_shape(self):
+        config, nodes, bs = build_scenario("table2", seed=1)
+        assert config.deployment.n_nodes == 100
+        assert nodes is None and bs is None
+
+    def test_literal_battery(self):
+        config, _, _ = build_scenario("table2-literal")
+        assert config.deployment.initial_energy == 5.0
+
+    def test_underwater_has_prebuilt_deployment(self):
+        config, nodes, bs = build_scenario("underwater", seed=2)
+        assert nodes is not None and bs is not None
+        assert bs.position[2] == config.deployment.side  # surface buoy
+
+    def test_mountain_bs_on_summit(self):
+        config, nodes, bs = build_scenario("mountain", seed=0)
+        assert bs.position[2] >= nodes.positions[:, 2].max()
+
+    def test_heterogeneous_energy_mix(self):
+        config, _, _ = build_scenario("heterogeneous")
+        assert config.deployment.advanced_fraction == 0.2
+
+    def test_seed_changes_deployment(self):
+        _, a, _ = build_scenario("underwater", seed=1)
+        _, b, _ = build_scenario("underwater", seed=2)
+        assert not np.allclose(a.positions, b.positions)
+
+    @pytest.mark.parametrize("name", ["table2", "congested", "heterogeneous"])
+    def test_cube_scenarios_run(self, name):
+        config, nodes, bs = build_scenario(name, seed=0)
+        config = config.replace(rounds=2)
+        result = SimulationEngine(config, QLECProtocol()).run()
+        result.validate()
+
+    @pytest.mark.parametrize("name", ["underwater", "mountain"])
+    def test_prebuilt_scenarios_run(self, name):
+        config, nodes, bs = build_scenario(name, seed=0)
+        config = config.replace(rounds=2)
+        result = SimulationEngine(
+            config, QLECProtocol(), nodes=nodes, bs=bs
+        ).run()
+        result.validate()

@@ -1,0 +1,97 @@
+"""Tests for the per-round trace recorder."""
+
+import json
+
+import numpy as np
+
+from repro.core import QLECProtocol
+from repro.simulation import SimulationEngine, TraceRecorder
+from tests.conftest import make_config
+
+
+def run_traced(seed=1, rounds=4):
+    trace = TraceRecorder()
+    engine = SimulationEngine(
+        make_config(seed=seed, rounds=rounds), QLECProtocol(), trace=trace
+    )
+    result = engine.run()
+    return trace, result
+
+
+class TestTraceRecorder:
+    def test_one_record_per_round(self):
+        trace, result = run_traced(rounds=4)
+        assert len(trace) == result.rounds_executed == 4
+
+    def test_records_match_result_totals(self):
+        trace, result = run_traced()
+        assert sum(r.generated for r in trace) == result.packets.generated
+        assert sum(r.delivered for r in trace) == result.packets.delivered
+        assert sum(r.energy_consumed for r in trace) == result.total_energy
+
+    def test_round_indices_sequential(self):
+        trace, _ = run_traced()
+        assert [r.round_index for r in trace] == [0, 1, 2, 3]
+
+    def test_heads_recorded(self):
+        trace, _ = run_traced()
+        assert all(len(r.heads) >= 1 for r in trace)
+
+    def test_residuals_monotone_without_harvesting(self):
+        trace, _ = run_traced()
+        totals = [r.total_residual for r in trace]
+        assert all(a >= b - 1e-12 for a, b in zip(totals, totals[1:]))
+
+    def test_head_service_counts(self):
+        trace, _ = run_traced()
+        counts = trace.head_service_counts()
+        assert sum(counts.values()) == sum(len(r.heads) for r in trace)
+
+    def test_jsonl_round_trips(self):
+        trace, _ = run_traced(rounds=2)
+        lines = trace.to_jsonl().splitlines()
+        assert len(lines) == 2
+        parsed = json.loads(lines[0])
+        assert parsed["round_index"] == 0
+        assert isinstance(parsed["heads"], list)
+
+    def test_write_jsonl(self, tmp_path):
+        trace, _ = run_traced(rounds=2)
+        path = tmp_path / "trace.jsonl"
+        trace.write_jsonl(path)
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_untraced_engine_has_no_overhead_hook(self):
+        engine = SimulationEngine(make_config(seed=2), QLECProtocol())
+        assert engine.trace is None
+        engine.run()
+
+
+class TestAggregationModes:
+    def test_energy_ordering(self):
+        """perfect fusion < ratio compression < no aggregation."""
+        from repro.simulation import run_simulation
+
+        energies = {}
+        for mode in ("perfect", "ratio", "none"):
+            cfg = make_config(seed=5).replace(aggregation=mode)
+            energies[mode] = run_simulation(cfg, QLECProtocol()).total_energy
+        assert energies["perfect"] < energies["ratio"] < energies["none"]
+
+    def test_invalid_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_config().replace(aggregation="quantum")
+
+    def test_pdr_insensitive_to_fusion_model(self):
+        """Fusion only changes uplink framing, not member delivery."""
+        from repro.simulation import run_simulation
+
+        pdrs = []
+        for mode in ("perfect", "ratio"):
+            cfg = make_config(seed=6, mean_interarrival=16.0).replace(
+                aggregation=mode
+            )
+            pdrs.append(run_simulation(cfg, QLECProtocol()).delivery_rate)
+        assert abs(pdrs[0] - pdrs[1]) < 0.1

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface and the report generator."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig3_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.command == "fig3"
+        assert args.lambdas == [2.0, 4.0, 8.0, 16.0]
+
+    def test_fig4_options(self):
+        args = build_parser().parse_args(
+            ["fig4", "--nodes", "100", "--clusters", "9", "--compare"]
+        )
+        assert args.nodes == 100
+        assert args.compare
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+
+class TestCommands:
+    def test_quickstart_prints_table(self, capsys):
+        assert main(["quickstart", "--seed", "1", "--lam", "16"]) == 0
+        out = capsys.readouterr().out
+        for name in ("qlec", "fcm", "kmeans", "direct"):
+            assert name in out
+
+    def test_kopt_command(self, capsys):
+        assert main(["kopt"]) == 0
+        assert "Theorem 1" in capsys.readouterr().out
+
+    def test_fig4_small_command(self, capsys):
+        rc = main(
+            ["fig4", "--nodes", "80", "--clusters", "8", "--rounds", "2"]
+        )
+        assert rc == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_quick_report(self, tmp_path, monkeypatch):
+        from repro.analysis.report import ReportConfig, generate_report
+
+        text = generate_report(
+            ReportConfig(
+                seeds=(0,),
+                lambdas=(8.0,),
+                quick=True,
+                serial=True,
+            )
+        )
+        assert text.startswith("# QLEC reproduction report")
+        assert "Fig. 3" in text
+        assert "Theorem 1" in text
+        assert "Complexity" in text
+
+    @pytest.mark.slow
+    def test_report_command_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "REPORT.md"
+        # quick+serial keeps this test to a few seconds.
+        import repro.analysis.report as report_mod
+
+        original = report_mod.ReportConfig
+        rc = main(["report", "--out", str(out_file), "--quick", "--serial"])
+        assert rc == 0
+        assert out_file.exists()
+        assert "Fig. 3" in out_file.read_text()
+        assert original is report_mod.ReportConfig
+
+
+class TestNewCommands:
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "underwater" in out
+
+    def test_scenario_run_with_layout(self, capsys):
+        assert main(
+            ["scenario", "table2", "--protocol", "direct", "--layout"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "S" in out  # the BS marker in the layout
+        assert "direct" in out
+
+    def test_scenario_unknown_raises(self):
+        with pytest.raises(KeyError):
+            main(["scenario", "atlantis"])
+
+    def test_convergence_command(self, capsys):
+        assert main(["convergence"]) == 0
+        assert "X / N" in capsys.readouterr().out
+
+    def test_lifespan_command_small(self, capsys):
+        assert main(
+            ["lifespan", "--rounds", "6", "--seeds", "0", "--energy", "0.03"]
+        ) == 0
+        assert "FND" in capsys.readouterr().out

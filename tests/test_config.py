@@ -1,0 +1,146 @@
+"""Tests for repro.config: validation, Table-2 values, derived quantities."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.config import (
+    DeploymentConfig,
+    QLearningConfig,
+    QueueConfig,
+    RadioConfig,
+    SimulationConfig,
+    TrafficConfig,
+    paper_config,
+)
+
+
+class TestRadioConfig:
+    def test_defaults_match_table2(self):
+        r = RadioConfig()
+        assert r.eps_fs == pytest.approx(10e-12)
+        assert r.eps_mp == pytest.approx(0.0013e-12)
+
+    def test_d0_formula(self):
+        r = RadioConfig()
+        assert r.d0 == pytest.approx(math.sqrt(10.0 / 0.0013))
+
+    def test_d0_scales_with_constants(self):
+        r = RadioConfig(eps_fs=4e-12, eps_mp=1e-12)
+        assert r.d0 == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("field", ["e_elec", "e_da", "eps_fs", "eps_mp"])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError):
+            RadioConfig(**{field: 0.0})
+
+
+class TestQLearningConfig:
+    def test_table2_weights(self):
+        q = QLearningConfig()
+        assert (q.alpha1, q.alpha2, q.beta1, q.beta2) == (0.05, 1.05, 0.05, 1.05)
+        assert q.gamma == 0.95
+
+    def test_gamma_bounds(self):
+        with pytest.raises(ValueError):
+            QLearningConfig(gamma=1.5)
+        with pytest.raises(ValueError):
+            QLearningConfig(gamma=-0.1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            QLearningConfig(alpha1=-0.1)
+
+    def test_tol_positive(self):
+        with pytest.raises(ValueError):
+            QLearningConfig(tol=0.0)
+
+
+class TestTrafficConfig:
+    def test_rate_is_reciprocal_of_lambda(self):
+        t = TrafficConfig(mean_interarrival=8.0)
+        assert t.rate_per_slot == pytest.approx(0.125)
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(mean_interarrival=0.0)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(slots_per_round=0)
+
+
+class TestDeploymentConfig:
+    def test_bs_defaults_to_cube_centre(self):
+        d = DeploymentConfig(side=100.0)
+        assert d.bs == (50.0, 50.0, 50.0)
+
+    def test_explicit_bs_position(self):
+        d = DeploymentConfig(bs_position=(1.0, 2.0, 3.0))
+        assert d.bs == (1.0, 2.0, 3.0)
+
+    def test_death_line_must_be_below_initial(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(initial_energy=1.0, death_line=1.0)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(n_nodes=0)
+
+
+class TestQueueConfig:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            QueueConfig(capacity=-1)
+
+    def test_rejects_zero_service(self):
+        with pytest.raises(ValueError):
+            QueueConfig(service_rate=0)
+
+    def test_rejects_negative_bs_capacity(self):
+        with pytest.raises(ValueError):
+            QueueConfig(bs_capacity_per_slot=-1)
+
+
+class TestSimulationConfig:
+    def test_compression_ratio_bounds(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(compression_ratio=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(compression_ratio=1.5)
+
+    def test_replace_returns_modified_copy(self):
+        c = SimulationConfig(rounds=10)
+        c2 = c.replace(rounds=33)
+        assert c.rounds == 10 and c2.rounds == 33
+
+    def test_estimator_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(estimator_alpha=0.0)
+
+    def test_max_retries_nonnegative(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(max_retries=-1)
+
+    def test_frozen(self):
+        c = SimulationConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            c.rounds = 5
+
+
+class TestPaperConfig:
+    def test_headline_values(self):
+        c = paper_config()
+        assert c.deployment.n_nodes == 100
+        assert c.deployment.side == 200.0
+        assert c.n_clusters == 5
+        assert c.rounds == 20
+        assert c.compression_ratio == 0.5
+        assert c.qlearning.gamma == 0.95
+
+    def test_lambda_passthrough(self):
+        assert paper_config(mean_interarrival=2.5).traffic.mean_interarrival == 2.5
+
+    def test_literal_table2_energy_accepted(self):
+        assert paper_config(initial_energy=5.0).deployment.initial_energy == 5.0

@@ -1,0 +1,104 @@
+"""Failure-injection tests: the system must degrade gracefully, never
+crash, and keep its accounting invariants under hostile conditions."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DirectProtocol, KMeansProtocol
+from repro.config import QueueConfig
+from repro.core import QLECProtocol
+from repro.simulation.engine import SimulationEngine, run_simulation
+from tests.conftest import make_config
+
+
+class TestChannelBlackout:
+    @pytest.mark.parametrize("protocol_cls", [QLECProtocol, KMeansProtocol])
+    def test_total_blackout_delivers_nothing(self, protocol_cls):
+        engine = SimulationEngine(make_config(seed=1), protocol_cls())
+        engine.state.channel.blackout = True
+        result = engine.run()
+        result.validate()
+        assert result.packets.delivered == 0
+        # Senders still burned energy on the attempts.
+        assert result.total_energy > 0.0
+
+    def test_blackout_mid_run(self):
+        engine = SimulationEngine(make_config(seed=2, rounds=6), QLECProtocol())
+        for _ in range(3):
+            engine.run_round()
+        delivered_before = engine._totals.delivered
+        engine.state.channel.blackout = True
+        for _ in range(3):
+            engine.run_round()
+        assert engine._totals.delivered == delivered_before
+
+
+class TestQueueStarvation:
+    def test_zero_capacity_queues(self):
+        config = make_config(seed=3).replace(
+            queue=QueueConfig(capacity=0, service_rate=1)
+        )
+        result = run_simulation(config, QLECProtocol())
+        result.validate()
+        # Every head-bound packet bounced; only channel losses add up.
+        assert result.packets.delivered == 0 or result.packets.dropped_queue > 0
+
+
+class TestMassDeath:
+    def test_engine_survives_total_network_death(self):
+        config = make_config(
+            seed=4, initial_energy=0.0005, rounds=10, mean_interarrival=1.0
+        )
+        result = run_simulation(config, QLECProtocol())
+        result.validate()
+        assert result.first_death_round is not None
+
+    def test_headless_rounds_fall_back_to_direct(self):
+        """Kill every candidate head: the engine must route direct."""
+        config = make_config(seed=5, rounds=2)
+        engine = SimulationEngine(config, DirectProtocol())
+        result = engine.run()
+        assert result.packets.mean_hops <= 1.0
+
+    def test_relay_death_mid_round_accounted(self):
+        """Killing nodes mid-run must not break packet conservation."""
+        config = make_config(seed=6, rounds=6, mean_interarrival=2.0)
+        engine = SimulationEngine(config, KMeansProtocol())
+        engine.run_round()
+        # Assassinate half the population between rounds.
+        engine.state.ledger.discharge(np.arange(0, engine.state.n, 2), 10.0, "tx")
+        for _ in range(5):
+            engine.run_round()
+        totals = engine._totals
+        assert totals.generated >= totals.delivered + totals.dropped
+
+
+class TestDegenerateScales:
+    def test_single_node_network(self):
+        config = make_config(n_nodes=1, n_clusters=1, seed=7)
+        result = run_simulation(config, DirectProtocol())
+        result.validate()
+
+    def test_two_node_network_with_clustering(self):
+        config = make_config(n_nodes=2, n_clusters=1, seed=8)
+        result = run_simulation(config, QLECProtocol())
+        result.validate()
+
+    def test_k_larger_than_population(self):
+        config = make_config(n_nodes=4, n_clusters=10, seed=9)
+        result = run_simulation(config, QLECProtocol())
+        result.validate()
+
+    def test_one_round(self):
+        config = make_config(rounds=1, seed=10)
+        result = run_simulation(config, QLECProtocol())
+        assert result.rounds_executed == 1
+
+    def test_one_slot_per_round(self):
+        from repro.config import TrafficConfig
+
+        config = make_config(seed=11).replace(
+            traffic=TrafficConfig(mean_interarrival=2.0, slots_per_round=1)
+        )
+        result = run_simulation(config, QLECProtocol())
+        result.validate()

@@ -1,0 +1,106 @@
+"""End-to-end shape tests: the qualitative claims of the paper's
+evaluation must hold on the Table-2 scenario.
+
+These are the "did we actually reproduce the paper" tests.  They run
+the real 100-node scenario (3 seeds per point) so they are the slowest
+tests in the suite — marked ``slow`` for optional deselection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep_protocols
+
+pytestmark = pytest.mark.slow
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def congested():
+    """lambda = 4 (busy but not saturated): the discriminating regime."""
+    return sweep_protocols(
+        protocols=("qlec", "fcm", "kmeans"),
+        lambdas=(4.0,),
+        seeds=SEEDS,
+        serial=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def idle():
+    return sweep_protocols(
+        protocols=("qlec", "fcm", "kmeans"),
+        lambdas=(16.0,),
+        seeds=SEEDS,
+        serial=True,
+    )
+
+
+class TestFig3aShape:
+    def test_qlec_highest_pdr_under_congestion(self, congested):
+        q = congested.aggregate("pdr", "qlec", 4.0)
+        f = congested.aggregate("pdr", "fcm", 4.0)
+        k = congested.aggregate("pdr", "kmeans", 4.0)
+        assert q > f
+        assert q > k
+
+    def test_fcm_loses_over_ten_percent_when_congested(self, congested):
+        """Paper §5.2: the FCM scheme "tends to discard more than 10%
+        packets when the network is congested"."""
+        assert congested.aggregate("pdr", "fcm", 4.0) < 0.9
+
+    def test_qlec_near_perfect_when_idle(self, idle):
+        assert idle.aggregate("pdr", "qlec", 16.0) > 0.95
+
+
+class TestFig3bShape:
+    def test_qlec_consumes_less_than_fcm(self, congested):
+        """Paper: the hierarchical FCM network "consumes more energy to
+        deliver packets" than QLEC."""
+        assert congested.aggregate("energy_J", "qlec", 4.0) < congested.aggregate(
+            "energy_J", "fcm", 4.0
+        )
+
+    def test_qlec_best_energy_per_delivered_packet(self, congested):
+        def epp(protocol):
+            rows = congested.filtered(protocol=protocol)
+            return float(
+                np.mean([r["energy_J"] / max(r["delivered"], 1) for r in rows])
+            )
+
+        assert epp("qlec") < epp("fcm")
+        assert epp("qlec") < epp("kmeans")
+
+
+class TestFig3cShape:
+    def test_qlec_longest_lifespan(self, congested):
+        q = congested.aggregate("lifespan", "qlec", 4.0)
+        f = congested.aggregate("lifespan", "fcm", 4.0)
+        k = congested.aggregate("lifespan", "kmeans", 4.0)
+        assert q >= f
+        assert q > k
+
+    def test_kmeans_dies_first(self, congested):
+        """The energy-blind geometric baseline burns its heads."""
+        k = congested.aggregate("lifespan", "kmeans", 4.0)
+        q = congested.aggregate("lifespan", "qlec", 4.0)
+        assert k < 0.6 * q
+
+
+class TestFig4Shape:
+    def test_qlec_most_even_energy_balance(self, congested):
+        q = congested.aggregate("balance_index", "qlec", 4.0)
+        f = congested.aggregate("balance_index", "fcm", 4.0)
+        k = congested.aggregate("balance_index", "kmeans", 4.0)
+        assert q > f
+        assert q > k
+
+
+class TestLatencyClaim:
+    def test_qlec_latency_not_worse_than_fcm(self, congested):
+        """Abstract: QLEC outperforms on transmission latency (the
+        multi-hop FCM hierarchy pays extra hops)."""
+        assert congested.aggregate(
+            "latency_slots", "qlec", 4.0
+        ) <= congested.aggregate("latency_slots", "fcm", 4.0)
