@@ -72,3 +72,62 @@ def test_q_backup_per_packet(benchmark):
     router = proto.router
     choice = benchmark(router.choose, 0, heads)
     assert choice in set(heads.tolist()) | {state.bs_index}
+
+
+# ----------------------------------------------------------------------
+# Slot kernel: the batched data path at scale.
+# ----------------------------------------------------------------------
+
+def _slot_kernel_config():
+    """A congested large instance: N=2896 nodes, k=272 heads, one
+    packet per node per slot on average (lambda ~ 1)."""
+    return make_config(
+        n_nodes=2896, side=400.0, n_clusters=272,
+        mean_interarrival=1.0, rounds=1, seed=0, initial_energy=2.0,
+    )
+
+
+def _round_aggregates(rs):
+    p = rs.packets
+    return (
+        rs.n_heads, rs.n_alive, rs.energy_consumed, p.generated,
+        p.delivered, p.dropped_channel, p.dropped_queue, p.dropped_dead,
+        p.expired, p.total_latency_slots, p.total_hops, rs.mean_queue_peak,
+    )
+
+
+def test_slot_kernel_round_n2896(benchmark):
+    """One full ``run_round`` of the batched kernel at scale."""
+    from repro.simulation.engine import SimulationEngine
+
+    cfg = _slot_kernel_config()
+
+    def fresh_round():
+        return SimulationEngine(cfg, QLECProtocol(), batched=True).run_round()
+
+    rs = benchmark(fresh_round)
+    assert rs.packets.generated > 20_000
+
+
+def test_slot_kernel_speedup_and_identity():
+    """The batched kernel must beat the scalar reference path by >= 3x
+    on the congested instance while producing identical aggregates."""
+    import time
+
+    from repro.simulation.engine import SimulationEngine
+
+    cfg = _slot_kernel_config()
+    timings = {}
+    aggregates = {}
+    for batched in (True, False):
+        best = float("inf")
+        for _ in range(2):
+            engine = SimulationEngine(cfg, QLECProtocol(), batched=batched)
+            t0 = time.perf_counter()
+            rs = engine.run_round()
+            best = min(best, time.perf_counter() - t0)
+        timings[batched] = best
+        aggregates[batched] = _round_aggregates(rs)
+    assert aggregates[True] == aggregates[False]
+    speedup = timings[False] / timings[True]
+    assert speedup >= 3.0, f"slot kernel speedup regressed: {speedup:.2f}x"

@@ -1,6 +1,6 @@
 """Baseline clustering protocols and the shared strategy interface."""
 
-from .base import ClusteringProtocol
+from .base import ClusteringProtocol, NearestHeadRelayMixin
 from .deec import DEECProtocol
 from .direct import DirectProtocol
 from .fcm import FCMProtocol, FCMResult, fuzzy_c_means
@@ -20,6 +20,7 @@ __all__ = [
     "KMeansProtocol",
     "KMeansResult",
     "LEACHProtocol",
+    "NearestHeadRelayMixin",
     "QELARProtocol",
     "TLLEACHProtocol",
     "fuzzy_c_means",

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..simulation.state import NetworkState
 
-__all__ = ["ClusteringProtocol"]
+__all__ = ["ClusteringProtocol", "NearestHeadRelayMixin"]
 
 
 class ClusteringProtocol(abc.ABC):
@@ -74,6 +74,35 @@ class ClusteringProtocol(abc.ABC):
             direct base-station uplink.
         """
 
+    def choose_relays(
+        self,
+        state: NetworkState,
+        senders: np.ndarray,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`choose_relay`: one relay target per sender.
+
+        The engine's batched slot kernel calls this once per slot with
+        every sender that has a head-of-line packet, in canonical
+        (ascending index) order.  The default falls back to the scalar
+        method sender by sender — semantically identical, and exactly
+        what sequentially-coupled protocols (QELAR's hop-by-hop V
+        updates) need.  Vectorizable protocols override it.
+
+        ``queue_lengths`` is the backlog snapshot taken at the start of
+        the slot, aligned with ``heads``.
+        """
+        senders = np.asarray(senders, dtype=np.intp)
+        return np.fromiter(
+            (
+                self.choose_relay(state, int(node), heads, queue_lengths)
+                for node in senders
+            ),
+            dtype=np.intp,
+            count=senders.size,
+        )
+
     def uplink_path(
         self, state: NetworkState, head: int, heads: np.ndarray
     ) -> list[int]:
@@ -95,6 +124,24 @@ class ClusteringProtocol(abc.ABC):
     ) -> None:
         """ACK/timeout feedback for a single transmission attempt."""
 
+    def on_transmissions(
+        self,
+        state: NetworkState,
+        nodes: np.ndarray,
+        targets: np.ndarray,
+        successes: np.ndarray,
+    ) -> None:
+        """One slot's ACK feedback as a batch (canonical sender order).
+
+        Dispatches to the scalar hook only when a subclass actually
+        overrides it, so protocols without transmission feedback pay
+        nothing per slot.
+        """
+        if type(self).on_transmission is ClusteringProtocol.on_transmission:
+            return
+        for node, target, ok in zip(nodes, targets, successes):
+            self.on_transmission(state, int(node), int(target), bool(ok))
+
     def on_round_end(self, state: NetworkState, heads: np.ndarray) -> None:
         """Called after the CH->BS uplink completes each round."""
 
@@ -110,3 +157,25 @@ class ClusteringProtocol(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NearestHeadRelayMixin:
+    """Vectorized ``choose_relays`` for join-the-nearest-head protocols
+    (LEACH, DEEC, HEED, TL-LEACH, FCM's member stage ...).
+
+    Computes the full sender x head distance block in one shot and
+    argmins per row — the same sqrt pipeline as
+    :meth:`NetworkState.distances_from`, so ties resolve to the same
+    head index as the scalar rule.
+    """
+
+    def choose_relays(
+        self,
+        state: NetworkState,
+        senders: np.ndarray,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> np.ndarray:
+        heads = np.asarray(heads, dtype=np.intp)
+        d = state.distances_matrix(senders, heads)
+        return heads[d.argmin(axis=1)]

@@ -19,12 +19,12 @@ import numpy as np
 
 from ..core.selection import ImprovedDEECSelector, SelectionConfig
 from ..simulation.state import NetworkState
-from .base import ClusteringProtocol
+from .base import ClusteringProtocol, NearestHeadRelayMixin
 
 __all__ = ["DEECProtocol"]
 
 
-class DEECProtocol(ClusteringProtocol):
+class DEECProtocol(NearestHeadRelayMixin, ClusteringProtocol):
     """Classic DEEC: energy-weighted rotation, nearest-head joining."""
 
     name = "deec"

@@ -33,3 +33,12 @@ class DirectProtocol(ClusteringProtocol):
         queue_lengths: np.ndarray,
     ) -> int:
         return state.bs_index
+
+    def choose_relays(
+        self,
+        state: NetworkState,
+        senders: np.ndarray,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> np.ndarray:
+        return np.full(np.asarray(senders).size, state.bs_index, dtype=np.intp)

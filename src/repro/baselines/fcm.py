@@ -28,7 +28,7 @@ import numpy as np
 
 from ..network.topology import pairwise_distances
 from ..simulation.state import NetworkState
-from .base import ClusteringProtocol
+from .base import ClusteringProtocol, NearestHeadRelayMixin
 
 __all__ = ["FCMResult", "fuzzy_c_means", "FCMProtocol"]
 
@@ -103,7 +103,7 @@ def fuzzy_c_means(
     return FCMResult(centroids, u, objective, max_iter, False)
 
 
-class FCMProtocol(ClusteringProtocol):
+class FCMProtocol(NearestHeadRelayMixin, ClusteringProtocol):
     """FCM-based hierarchical baseline (reproducing ref. [14])."""
 
     name = "fcm"

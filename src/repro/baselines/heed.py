@@ -31,12 +31,12 @@ import numpy as np
 
 from ..core.theory import cluster_radius
 from ..simulation.state import NetworkState
-from .base import ClusteringProtocol
+from .base import ClusteringProtocol, NearestHeadRelayMixin
 
 __all__ = ["HEEDProtocol"]
 
 
-class HEEDProtocol(ClusteringProtocol):
+class HEEDProtocol(NearestHeadRelayMixin, ClusteringProtocol):
     """Hybrid energy + cost iterative election."""
 
     name = "heed"

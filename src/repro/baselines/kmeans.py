@@ -213,3 +213,28 @@ class KMeansProtocol(ClusteringProtocol):
                 return state.bs_index
         d = state.distances_from(node, heads)
         return int(heads[d.argmin()])
+
+    def choose_relays(
+        self,
+        state: NetworkState,
+        senders: np.ndarray,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> np.ndarray:
+        senders = np.asarray(senders, dtype=np.intp)
+        heads = np.asarray(heads, dtype=np.intp)
+        nearest = heads[
+            state.distances_matrix(senders, heads).argmin(axis=1)
+        ]
+        if self._home_head is None:
+            return nearest
+        home = self._home_head[senders]
+        home_ok = state.ledger.alive[home] & np.isin(home, heads)
+        # Static scheme strands members of dead heads at the BS;
+        # adaptive reclustering reassigns them to the nearest head.
+        fallback = (
+            np.full(senders.size, state.bs_index, dtype=np.intp)
+            if self.recluster_every is None
+            else nearest
+        )
+        return np.where(home_ok, home, fallback)

@@ -20,12 +20,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..simulation.state import NetworkState
-from .base import ClusteringProtocol
+from .base import ClusteringProtocol, NearestHeadRelayMixin
 
 __all__ = ["LEACHProtocol"]
 
 
-class LEACHProtocol(ClusteringProtocol):
+class LEACHProtocol(NearestHeadRelayMixin, ClusteringProtocol):
     """Classic LEACH: uniform rotation probability, no energy term."""
 
     name = "leach"

@@ -17,12 +17,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..simulation.state import NetworkState
-from .base import ClusteringProtocol
+from .base import ClusteringProtocol, NearestHeadRelayMixin
 
 __all__ = ["TLLEACHProtocol"]
 
 
-class TLLEACHProtocol(ClusteringProtocol):
+class TLLEACHProtocol(NearestHeadRelayMixin, ClusteringProtocol):
     """Two-level LEACH: secondary heads relay through primary heads."""
 
     name = "tl-leach"

@@ -119,11 +119,23 @@ class QLECProtocol(ClusteringProtocol):
         assert self.router is not None, "prepare() must run first"
         return self.router.choose(node, heads, rng=state.protocol_rng)
 
+    def choose_relays(
+        self,
+        state: NetworkState,
+        senders: np.ndarray,
+        heads: np.ndarray,
+        queue_lengths: np.ndarray,
+    ) -> np.ndarray:
+        """One slot's relay choices as a single Q-block evaluation;
+        exact vectorization of the scalar loop (senders back up only
+        their own V entries)."""
+        assert self.router is not None, "prepare() must run first"
+        return self.router.choose_many(senders, heads, rng=state.protocol_rng)
+
     def on_round_end(self, state: NetworkState, heads: np.ndarray) -> None:
         assert self.router is not None
-        for h in np.asarray(heads, dtype=np.intp):
-            if state.ledger.is_alive(int(h)):
-                self.router.ch_backup(int(h))
+        heads = np.asarray(heads, dtype=np.intp)
+        self.router.ch_backup_many(heads[state.ledger.alive[heads]])
 
     # ------------------------------------------------------------------
     @property

@@ -99,7 +99,7 @@ class QRouter:
         st = self.state
         targets = self.action_targets(heads)
         distances = st.distances_from(node, targets)
-        p = st.link_estimator.estimates[node, targets]
+        p = st.link_estimator.row(node)[targets]
         # Residual energy of each candidate; the BS is mains-powered —
         # its x(.) contribution is pinned to 0 so Eq. (19)'s penalty l
         # alone governs the direct-uplink tradeoff.
@@ -131,6 +131,60 @@ class QRouter:
             self.v[node] = old + self.learning_rate * (v_new - old)
         return int(targets[self.policy.select(q, rng)])
 
+    def q_values_many(
+        self, nodes: np.ndarray, heads: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`q_values`: the ``(len(nodes), k+1)`` Q block.
+
+        Row i is bitwise identical to ``q_values(nodes[i], heads)[0]``:
+        every term is an elementwise numpy op, so evaluating senders
+        together changes nothing but wall-clock.
+        """
+        st = self.state
+        targets = self.action_targets(heads)
+        nodes = np.asarray(nodes, dtype=np.intp)
+        distances = st.distances_matrix(nodes, targets)
+        p = st.link_estimator.estimates[np.ix_(nodes, targets)]
+        is_bs = targets == st.bs_index
+        e_dst = np.where(
+            is_bs, 0.0, st.ledger.residual[np.where(is_bs, 0, targets)]
+        )
+        r_t = self.rewards.expected_reward(
+            p, st.ledger.residual[nodes][:, None], e_dst, distances, is_bs
+        )
+        v_targets = self.v.get_many(targets)
+        v_self = self.v.get_many(nodes)[:, None]
+        q = r_t + self.cfg.gamma * (p * v_targets + (1.0 - p) * v_self)
+        self.q_evaluations += q.size
+        return q, targets
+
+    def choose_many(
+        self,
+        nodes: np.ndarray,
+        heads: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Batched Algorithm 4 over one slot's senders.
+
+        Valid because senders are non-heads whose backups only write
+        their *own* V entry: within a slot the updates are independent,
+        so the batch equals the sequential sorted-order loop (the
+        engine's canonical order) exactly — including the policy's
+        tie-break draws, consumed in row order.
+        """
+        nodes = np.asarray(nodes, dtype=np.intp)
+        heads = np.asarray(heads, dtype=np.intp)
+        if heads.size == 0:
+            return np.full(nodes.size, self.state.bs_index, dtype=np.intp)
+        q, targets = self.q_values_many(nodes, heads)
+        v_new = q.max(axis=1)
+        if self.learning_rate is None:
+            self.v.set_many(nodes, v_new)
+        else:
+            old = self.v.get_many(nodes)
+            self.v.set_many(nodes, old + self.learning_rate * (v_new - old))
+        return targets[self.policy.select_batch(q, rng)]
+
     def ch_backup(self, head: int) -> None:
         """Algorithm 1, line 15: a head refreshes its V from the BS
         uplink action.
@@ -153,6 +207,29 @@ class QRouter:
         q = r_t + self.cfg.gamma * (p * self.v[st.bs_index] + (1.0 - p) * self.v[head])
         self.v[head] = q
         self.q_evaluations += 1
+
+    def ch_backup_many(self, heads: np.ndarray) -> None:
+        """Batched :meth:`ch_backup` over one round's live heads.
+
+        Heads write only their own V entries and read only the BS's
+        (never another head's), so the batch equals the sequential loop
+        exactly — every term is the same elementwise arithmetic.
+        """
+        heads = np.asarray(heads, dtype=np.intp)
+        if heads.size == 0:
+            return
+        st = self.state
+        d = st.topology.d_to_bs[heads]
+        p = st.link_estimator.estimates[heads, st.bs_index]
+        compressed = st.config.compression_ratio * st.config.traffic.packet_bits
+        r_t = self.rewards.expected_reward(
+            p, st.ledger.residual[heads], 0.0, d, is_bs=None, bits=compressed
+        )
+        q = r_t + self.cfg.gamma * (
+            p * self.v[st.bs_index] + (1.0 - p) * self.v.get_many(heads)
+        )
+        self.v.set_many(heads, q)
+        self.q_evaluations += heads.size
 
     # ------------------------------------------------------------------
     def relax(self, node_indices: np.ndarray, heads: np.ndarray) -> int:

@@ -164,6 +164,41 @@ class EnergyLedger:
         if newly_dead.size:
             self._alive[newly_dead] = False
 
+    def discharge_many(self, idx, amounts, category: str = "tx") -> None:
+        """Batched :meth:`discharge` that tolerates duplicate indices.
+
+        ``idx`` may repeat (e.g. one cluster head receiving from many
+        members in a slot); duplicate charges are summed per node
+        before applying, which is exact under the floor-at-zero
+        semantics because all charges of one call share a category and
+        land atomically.  A plain fancy-indexed subtraction would be
+        last-write-wins and silently undercharge — hence this method.
+        """
+        idx = np.atleast_1d(np.asarray(idx))
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        amounts = np.broadcast_to(
+            np.asarray(amounts, dtype=np.float64), idx.shape
+        )
+        if np.any(amounts < 0.0):
+            raise ValueError("discharge amount must be non-negative")
+        if idx.size == 0:
+            return
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        agg = np.bincount(inverse, weights=amounts, minlength=uniq.size)
+        live = self._alive[uniq]
+        uniq = uniq[live]
+        agg = agg[live]
+        if uniq.size == 0:
+            return
+        before = self._residual[uniq]
+        after = np.maximum(before - agg, 0.0)
+        self._charge_category(category, float((before - after).sum()))
+        self._residual[uniq] = after
+        newly_dead = uniq[after <= self._death_line]
+        if newly_dead.size:
+            self._alive[newly_dead] = False
+
     def recharge(self, amount, revive: bool = True) -> float:
         """Credit harvested energy, capped at each node's initial
         capacity (the battery cannot over-charge).

@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from ..analysis import render_table
-from ..config import QLearningConfig, paper_config
+from ..config import paper_config
 from ..core import QLECProtocol
 from ..simulation import run_simulation
 

@@ -9,21 +9,29 @@ from .deployment import (
     uniform_cube,
 )
 from .node import BaseStation, Node, NodeArray
-from .packet import PacketRecord, PacketStats, PacketStatus
-from .queueing import CHQueue, QueueBank
+from .packet import (
+    LatencyReservoir,
+    PacketArena,
+    PacketRecord,
+    PacketStats,
+    PacketStatus,
+)
+from .queueing import QueueBank, SourceBuffers
 from .topology import Topology, distances_to_point, pairwise_distances
 
 __all__ = [
     "BaseStation",
-    "CHQueue",
     "Channel",
+    "LatencyReservoir",
     "LinkEstimator",
     "Node",
     "NodeArray",
+    "PacketArena",
     "PacketRecord",
     "PacketStats",
     "PacketStatus",
     "QueueBank",
+    "SourceBuffers",
     "Topology",
     "delivery_probability",
     "deploy",

@@ -97,32 +97,109 @@ class LinkEstimator:
         #: makes congestion at a head visible to all members at once;
         #: per-pair mode keeps the classical private estimate.
         self.shared = shared
-        self._est = np.full((n_nodes, n_targets), initial, dtype=np.float64)
+        self._n_nodes = n_nodes
+        if shared:
+            # Every node sees the same estimate of each target, so the
+            # (n_nodes, n_targets) matrix is rank-1: store one row and
+            # broadcast reads.  O(1) per column update instead of O(N).
+            self._shared_row = np.full(n_targets, initial, dtype=np.float64)
+            self._est = np.empty((0, n_targets), dtype=np.float64)
+        else:
+            self._est = np.full((n_nodes, n_targets), initial, dtype=np.float64)
 
     @property
     def estimates(self) -> np.ndarray:
+        """Read-only ``(n_nodes, n_targets)`` view of the estimates
+        (a broadcast view of the single stored row in shared mode)."""
+        if self.shared:
+            return np.broadcast_to(
+                self._shared_row, (self._n_nodes, self._shared_row.size)
+            )
         v = self._est.view()
         v.flags.writeable = False
         return v
 
     def get(self, node: int, target: int) -> float:
+        if self.shared:
+            return float(self._shared_row[target])
         return float(self._est[node, target])
 
     def row(self, node: int) -> np.ndarray:
         """Estimates from ``node`` to every target (read-only)."""
-        v = self._est[node].view()
+        v = (self._shared_row if self.shared else self._est[node]).view()
         v.flags.writeable = False
         return v
 
     def update(self, node: int, target: int, success: bool) -> None:
         obs = 1.0 if success else 0.0
         if self.shared:
-            col = self._est[:, target]
-            col += self.alpha * (obs - col)
+            self._shared_row[target] += self.alpha * (
+                obs - self._shared_row[target]
+            )
         else:
             self._est[node, target] += self.alpha * (
                 obs - self._est[node, target]
             )
+
+    def update_batch(
+        self, nodes: np.ndarray, targets: np.ndarray, successes: np.ndarray
+    ) -> None:
+        """Apply a batch of ACK outcomes in a single vectorized pass.
+
+        In per-pair mode, unique ``(node, target)`` pairs (each sender
+        transmits at most once per slot) are independent scatter
+        writes; repeated pairs (the fusion uplink's frame bursts) fold
+        into the closed form of m sequential EWMA steps,
+
+            est' = (1-a)^m est + a * sum_j (1-a)^(m-1-j) obs_j,
+
+        applied in the order given.  Shared mode folds the same way
+        per target *column* (the engine's canonical sorted sender
+        order).
+        """
+        nodes = np.asarray(nodes, dtype=np.intp)
+        targets = np.asarray(targets, dtype=np.intp)
+        obs = np.asarray(successes, dtype=np.float64)
+        if nodes.size == 0:
+            return
+        a = self.alpha
+        if not self.shared:
+            key = nodes * self._est.shape[1] + targets
+            uniq_k, pair_counts = np.unique(key, return_counts=True)
+            if uniq_k.size == key.size:
+                self._est[nodes, targets] += a * (obs - self._est[nodes, targets])
+                return
+            order = np.argsort(key, kind="stable")
+            obs_s = obs[order]
+            starts = np.cumsum(pair_counts) - pair_counts
+            j = np.arange(key.size, dtype=np.int64) - np.repeat(starts, pair_counts)
+            decay_exp = np.repeat(pair_counts, pair_counts) - 1 - j
+            contrib = a * obs_s * (1.0 - a) ** decay_exp
+            group = np.repeat(np.arange(uniq_k.size), pair_counts)
+            weighted = np.bincount(group, weights=contrib, minlength=uniq_k.size)
+            un = uniq_k // self._est.shape[1]
+            ut = uniq_k % self._est.shape[1]
+            vals = self._est[un, ut] * (1.0 - a) ** pair_counts + weighted
+            np.clip(vals, 0.0, 1.0, out=vals)
+            self._est[un, ut] = vals
+            return
+        order = np.argsort(targets, kind="stable")
+        t = targets[order]
+        obs = obs[order]
+        uniq, counts = np.unique(t, return_counts=True)
+        # Position of each outcome within its target group (0-based).
+        starts = np.cumsum(counts) - counts
+        j = np.arange(t.size, dtype=np.int64) - np.repeat(starts, counts)
+        decay_exp = np.repeat(counts, counts) - 1 - j
+        contrib = a * obs * (1.0 - a) ** decay_exp
+        group = np.repeat(np.arange(uniq.size), counts)
+        weighted = np.bincount(group, weights=contrib, minlength=uniq.size)
+        vals = self._shared_row[uniq] * (1.0 - a) ** counts + weighted
+        # The exact value is a convex combination of est and the obs,
+        # hence in [0, 1]; the folded product/sum can overshoot by ulps
+        # where the sequential form cannot, so shave the drift.
+        np.clip(vals, 0.0, 1.0, out=vals)
+        self._shared_row[uniq] = vals
 
 
 class Channel:
@@ -162,10 +239,18 @@ class Channel:
         p = self.success_probability(distance)
         return bool(self.rng.random() < p)
 
-    def attempt_many(self, distances: np.ndarray) -> np.ndarray:
-        """Vectorized Bernoulli trials for a batch of links."""
+    def attempt_batch(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized Bernoulli trials for a batch of links.
+
+        Consumes exactly ``distances.size`` uniforms in element order,
+        so a batched attempt and the equivalent sequence of scalar
+        :meth:`attempt` calls read the same generator stream.
+        """
         distances = np.asarray(distances, dtype=np.float64)
         if self.blackout:
             return np.zeros(distances.shape, dtype=bool)
         p = self.success_probability(distances)
         return self.rng.random(distances.shape) < p
+
+    #: Backward-compatible alias for :meth:`attempt_batch`.
+    attempt_many = attempt_batch

@@ -34,6 +34,22 @@ class Policy(abc.ABC):
         stochastic policies fall back to greedy).
         """
 
+    def select_batch(
+        self, q: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Row-wise :meth:`select` over a ``(rows, actions)`` Q block.
+
+        The default loops in row order so the generator stream is
+        consumed exactly as the equivalent scalar calls would; policies
+        whose draw pattern allows it override with a vectorized path.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        return np.fromiter(
+            (self.select(q[i], rng) for i in range(q.shape[0])),
+            dtype=np.intp,
+            count=q.shape[0],
+        )
+
     @staticmethod
     def _greedy(q: np.ndarray, rng: np.random.Generator | None) -> int:
         best = np.flatnonzero(q == q.max())
@@ -50,6 +66,23 @@ class GreedyPolicy(Policy):
         if q.size == 0:
             raise ValueError("empty action set")
         return self._greedy(q, rng)
+
+    def select_batch(
+        self, q: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Vectorized argmax; the generator is consulted only for rows
+        with tied maxima (in row order), exactly as the scalar rule
+        draws — so batched and looped selection read identical streams."""
+        q = np.asarray(q, dtype=np.float64)
+        if q.ndim != 2 or q.shape[1] == 0:
+            raise ValueError("empty action set")
+        picks = q.argmax(axis=1).astype(np.intp)
+        if rng is not None and q.shape[0]:
+            maxima = q[np.arange(q.shape[0]), picks]
+            tied = np.flatnonzero((q == maxima[:, None]).sum(axis=1) > 1)
+            for i in tied:
+                picks[i] = rng.choice(np.flatnonzero(q[i] == maxima[i]))
+        return picks
 
 
 class EpsilonGreedyPolicy(Policy):

@@ -55,6 +55,13 @@ class VTable:
         """Vectorized gather (used by the Q backup over all CHs)."""
         return self._v[np.asarray(idx)]
 
+    def set_many(self, idx: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized scatter; counts one update per entry (indices
+        must be unique so the batch equals the sequential writes)."""
+        idx = np.asarray(idx)
+        self._v[idx] = values
+        self.update_count += idx.size
+
     def reset(self) -> None:
         self._v[:] = 0.0
         self.update_count = 0

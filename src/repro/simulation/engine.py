@@ -1,4 +1,4 @@
-"""Round-based WSN simulation engine.
+"""Round-based WSN simulation engine with a batched slot kernel.
 
 Implements the paper's operational model (Algorithm 1's outer loop plus
 the §5 evaluation machinery):
@@ -15,17 +15,38 @@ per round r:
      path (direct for QLEC/k-means, hierarchy hops for FCM), and the
      protocol's round-end hook runs (QLEC's head V backup).
 
-Energy is charged through the vectorized ledger at every radio
-operation; ACK outcomes feed the link estimator that QLEC's Q backup
-consumes.  The engine is protocol-agnostic: every algorithm in Fig. 3
-runs on byte-identical traffic, channel draws, and deployments for a
-given master seed.
+Data-path layout
+----------------
+Packets never exist as Python objects on the hot path.  They are rows
+of a :class:`~repro.network.packet.PacketArena` (structure-of-arrays +
+free list); per-node source FIFOs are intrusive linked lists through
+the arena (:class:`~repro.network.queueing.SourceBuffers`); cluster
+head queues are one 2-D ring buffer of arena indices
+(:class:`~repro.network.queueing.QueueBank`).  Each slot phase issues a
+handful of vectorized calls — batched relay choice
+(``protocol.choose_relays``), one ``Channel.attempt_batch``, grouped
+``EnergyLedger.discharge_many`` charges, one
+``LinkEstimator.update_batch`` — instead of thousands of scalar ones.
+
+Determinism: the canonical draw order
+-------------------------------------
+All stochastic draws of a slot happen in **sorted sender index order**
+(generation, relay choice, channel trials, queue contention, BS-budget
+contention).  A batched ``rng.random(n)`` consumes the generator stream
+exactly as n scalar draws would, so the batched kernel and the scalar
+reference path (``batched=False``, which differs only by looping
+``choose_relay`` per sender) produce bit-identical runs per master
+seed.  Every algorithm in Fig. 3 runs on byte-identical traffic,
+channel draws, and deployments for a given seed.
+
+Drop accounting has a single source of truth: the per-round
+:class:`~repro.network.packet.PacketStats`; the queueing substrate
+keeps no shadow counters.
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -35,14 +56,18 @@ from ..config import SimulationConfig
 if TYPE_CHECKING:  # avoid a runtime cycle with baselines.base
     from ..baselines.base import ClusteringProtocol
 from ..network.node import BaseStation, NodeArray
-from ..network.packet import PacketRecord, PacketStats, PacketStatus
-from ..network.queueing import QueueBank
+from ..network.packet import PacketArena, PacketStats, PacketStatus
+from ..network.queueing import QueueBank, SourceBuffers
 from .metrics import RoundStats, SimulationResult
 from .state import NetworkState
 from .trace import TraceRecorder
 from .traffic import PoissonTraffic
 
 __all__ = ["SimulationEngine", "run_simulation"]
+
+#: One slot's serviced packets: (queue position per packet, arena index
+#: per packet, service completion slot).
+_FusedBatch = tuple[np.ndarray, np.ndarray, int]
 
 
 class SimulationEngine:
@@ -61,6 +86,12 @@ class SimulationEngine:
         experiment); otherwise the death round is recorded and the run
         continues (PDR/energy experiments, which "lower the energy
         death line" per §5.1).
+    batched:
+        When True (default) relay choices go through the protocol's
+        vectorized ``choose_relays``.  False forces the scalar
+        per-sender ``choose_relay`` loop — the reference path the
+        micro-benchmarks time the kernel against; both paths produce
+        bit-identical results.
     """
 
     def __init__(
@@ -73,6 +104,7 @@ class SimulationEngine:
         initial_energy: np.ndarray | None = None,
         stop_on_death: bool = False,
         trace: TraceRecorder | None = None,
+        batched: bool = True,
     ) -> None:
         self.config = config
         self.protocol = protocol
@@ -83,9 +115,9 @@ class SimulationEngine:
             config.traffic, self.state.n, self.state.traffic_rng
         )
         self.stop_on_death = stop_on_death
-        self._buffers: list[deque[PacketRecord]] = [
-            deque() for _ in range(self.state.n)
-        ]
+        self.batched = batched
+        self.arena = PacketArena()
+        self.buffers = SourceBuffers(self.state.n, self.arena)
         self._first_death_round: int | None = None
         self._rounds: list[RoundStats] = []
         self._totals = PacketStats()
@@ -118,10 +150,35 @@ class SimulationEngine:
         if total == 0:
             return
         stats.generated += total
-        for node in np.flatnonzero(counts):
-            buf = self._buffers[node]
-            for _ in range(int(counts[node])):
-                buf.append(PacketRecord(source=int(node), born_slot=abs_slot))
+        producing = np.flatnonzero(counts)
+        sources = np.repeat(producing, counts[producing])
+        rows = self.arena.alloc(sources, abs_slot)
+        self.buffers.push_batch(sources, rows)
+
+    def _choose_targets(
+        self,
+        heads: np.ndarray,
+        senders: np.ndarray,
+        qlens: np.ndarray,
+    ) -> np.ndarray:
+        """Relay target per sender — batched or the scalar reference
+        loop; identical results either way (the protocols' batch
+        overrides are exact vectorizations and consume the protocol RNG
+        in the same sender order)."""
+        st = self.state
+        if self.batched:
+            return np.asarray(
+                self.protocol.choose_relays(st, senders, heads, qlens),
+                dtype=np.int64,
+            )
+        return np.fromiter(
+            (
+                self.protocol.choose_relay(st, int(node), heads, qlens)
+                for node in senders
+            ),
+            dtype=np.int64,
+            count=senders.size,
+        )
 
     def _transmit(
         self,
@@ -132,119 +189,164 @@ class SimulationEngine:
         stats: PacketStats,
     ) -> None:
         st = self.state
+        arena = self.arena
         bits = self.config.traffic.packet_bits
+        # Canonical order: ascending sender index.  Within-slot
+        # contention (queue capacity, BS budget) resolves in this order
+        # every run, which is what keeps batched == scalar bit-exact.
         senders = np.flatnonzero(
-            st.ledger.alive
-            & ~is_head
-            & np.asarray([len(b) > 0 for b in self._buffers], dtype=bool)
+            st.ledger.alive & ~is_head & (self.buffers.lengths > 0)
         )
         if senders.size == 0:
             return
-        # Randomized service order so early indices get no systematic
-        # advantage at contended queues.
-        st.engine_rng.shuffle(senders)
-        bs_budget = self.config.queue.bs_capacity_per_slot
         hop_by_hop = getattr(self.protocol, "hop_by_hop", False)
-        max_hops = self.config.max_hops
-        for node in senders:
-            pkt = self._buffers[node].popleft()
-            if heads.size or hop_by_hop:
-                qlens = np.asarray(
-                    [bank.queue_length(int(h)) for h in heads], dtype=np.int64
+        if heads.size or hop_by_hop:
+            qlens = bank.lengths  # slot-start backlog snapshot
+            targets = self._choose_targets(heads, senders, qlens)
+        else:
+            targets = np.full(senders.size, st.bs_index, dtype=np.int64)
+        rows = self.buffers.peek(senders)
+        d = st.distances_many(senders, targets)
+        st.ledger.discharge_many(senders, st.radio.tx(bits, d), "tx")
+        # Liveness snapshot after the tx charges: a target killed by
+        # this slot's receptions still ACKs this slot's arrivals.
+        to_bs = targets == st.bs_index
+        target_alive = to_bs.copy()
+        target_alive[~to_bs] = st.ledger.alive[targets[~to_bs]]
+        draws = st.channel.attempt_batch(d)
+        arrived = draws & target_alive
+        # Every arrival at a non-BS target costs that target rx energy
+        # (heads pay even for packets their full queue then rejects —
+        # the radio listened either way).
+        rx_targets = targets[arrived & ~to_bs]
+        if rx_targets.size:
+            st.ledger.discharge_many(rx_targets, st.radio.rx(bits), "rx")
+
+        pos = bank.position(targets)
+        acks = np.zeros(senders.size, dtype=bool)
+        pop_mask = np.ones(senders.size, dtype=bool)
+        free_rows: list[np.ndarray] = []
+
+        # The ACK of §4.2 confirms the packet was "successfully
+        # received AND processed": a buffer overflow at the head is a
+        # missing ACK, which is exactly the congestion signal QLEC's
+        # link estimator learns from.
+        at_head = np.flatnonzero(arrived & (pos >= 0))
+        if at_head.size:
+            order = np.argsort(pos[at_head], kind="stable")
+            at_head = at_head[order]
+            accepted = bank.offer_batch(pos[at_head], rows[at_head])
+            acc = at_head[accepted]
+            rej = at_head[~accepted]
+            arena.hops[rows[acc]] += 1
+            acks[acc] = True
+            if rej.size:
+                stats.dropped_queue += rej.size
+                arena.mark(rows[rej], PacketStatus.DROPPED_QUEUE)
+                free_rows.append(rows[rej])
+
+        # Store-and-forward relay through an ordinary node (hop-by-hop
+        # protocols): the packet joins the relay's own buffer and
+        # continues next slot, bounded by the TTL so routing loops
+        # cannot live forever.
+        at_relay = np.flatnonzero(arrived & ~to_bs & (pos < 0))
+        forwarded = np.empty(0, dtype=np.int64)
+        if at_relay.size:
+            relay_rows = rows[at_relay]
+            arena.hops[relay_rows] += 1
+            expired = arena.hops[relay_rows] >= self.config.max_hops
+            exp = at_relay[expired]
+            forwarded = at_relay[~expired]
+            if exp.size:
+                stats.expired += exp.size
+                arena.mark(rows[exp], PacketStatus.EXPIRED)
+                free_rows.append(rows[exp])
+            if forwarded.size:
+                arena.retries[rows[forwarded]] = 0  # fresh ARQ budget per hop
+                acks[forwarded] = True
+
+        # Direct uplink: contends for the BS's per-slot budget for
+        # unscheduled traffic (the "burden" behind Eq. 19's penalty l).
+        at_bs = np.flatnonzero(arrived & to_bs)
+        if at_bs.size:
+            budget = self.config.queue.bs_capacity_per_slot
+            won = at_bs[:budget]
+            lost = at_bs[budget:]
+            if won.size:
+                won_rows = rows[won]
+                arena.hops[won_rows] += 1
+                arena.status[won_rows] = PacketStatus.DELIVERED.code
+                arena.delivered_slot[won_rows] = abs_slot + 1
+                stats.record_deliveries(
+                    arena.latencies(won_rows), arena.hops[won_rows]
                 )
-                target = int(self.protocol.choose_relay(st, int(node), heads, qlens))
-            else:
-                target = st.bs_index
-            d = st.distance(int(node), target)
-            st.ledger.discharge(int(node), st.radio.tx(bits, d), "tx")
-            target_alive = target == st.bs_index or st.ledger.is_alive(target)
-            arrived = target_alive and st.channel.attempt(d)
-            # The ACK of §4.2 confirms the packet was "successfully
-            # received AND processed": a buffer overflow at the head is
-            # a missing ACK, which is exactly the congestion signal
-            # QLEC's link estimator learns from.
-            if arrived and target != st.bs_index and target in bank:
-                st.ledger.discharge(target, st.radio.rx(bits), "rx")
-                accepted = bank[target].offer(pkt)
-                if accepted:
-                    pkt.hops += 1
-                else:
-                    stats.dropped_queue += 1
-                ack = accepted
-            elif arrived and target != st.bs_index:
-                # Store-and-forward relay through an ordinary node
-                # (hop-by-hop protocols): the packet joins the relay's
-                # own buffer and continues next slot, bounded by the
-                # TTL so routing loops cannot live forever.
-                st.ledger.discharge(target, st.radio.rx(bits), "rx")
-                pkt.hops += 1
-                if pkt.hops >= max_hops:
-                    pkt.status = PacketStatus.EXPIRED
-                    stats.expired += 1
-                    ack = False
-                else:
-                    pkt.retries = 0  # fresh ARQ budget per hop
-                    self._buffers[target].append(pkt)
-                    ack = True
-            elif arrived:
-                # Direct uplink: contends for the BS's per-slot budget
-                # for unscheduled traffic (the "burden" behind Eq. 19's
-                # penalty l).
-                if bs_budget > 0:
-                    bs_budget -= 1
-                    pkt.hops += 1
-                    pkt.status = PacketStatus.DELIVERED
-                    pkt.delivered_slot = abs_slot + 1
-                    stats.record_delivery(pkt.latency(), pkt.hops)
-                    ack = True
-                else:
-                    pkt.status = PacketStatus.DROPPED_QUEUE
-                    stats.dropped_queue += 1
-                    ack = False
-            else:
-                # Link-layer ARQ: an unacknowledged channel loss (or a
-                # silent dead relay) is retransmitted next slot, up to
-                # max_retries; a buffer-full rejection (above) is an
-                # explicit NACK and is not retried.
-                if pkt.retries < self.config.max_retries:
-                    pkt.retries += 1
-                    self._buffers[node].appendleft(pkt)
-                elif not target_alive:
-                    pkt.status = PacketStatus.DROPPED_DEAD
-                    stats.dropped_dead += 1
-                else:
-                    pkt.status = PacketStatus.DROPPED_CHANNEL
-                    stats.dropped_channel += 1
-                ack = False
-            st.link_estimator.update(int(node), target, ack)
-            self.protocol.on_transmission(st, int(node), target, ack)
+                acks[won] = True
+                free_rows.append(won_rows)
+            if lost.size:
+                stats.dropped_queue += lost.size
+                arena.mark(rows[lost], PacketStatus.DROPPED_QUEUE)
+                free_rows.append(rows[lost])
+
+        # Link-layer ARQ: an unacknowledged channel loss (or a silent
+        # dead relay) leaves the packet at the head of its source's
+        # buffer for next slot, up to max_retries; a buffer-full
+        # rejection (above) is an explicit NACK and is not retried.
+        failed = np.flatnonzero(~arrived)
+        if failed.size:
+            retry = arena.retries[rows[failed]] < self.config.max_retries
+            retrying = failed[retry]
+            arena.retries[rows[retrying]] += 1
+            pop_mask[retrying] = False
+            final = failed[~retry]
+            if final.size:
+                dead = ~target_alive[final]
+                n_dead = int(dead.sum())
+                stats.dropped_dead += n_dead
+                stats.dropped_channel += final.size - n_dead
+                arena.mark(rows[final[dead]], PacketStatus.DROPPED_DEAD)
+                arena.mark(rows[final[~dead]], PacketStatus.DROPPED_CHANNEL)
+                free_rows.append(rows[final])
+
+        self.buffers.pop(senders[pop_mask])
+        if forwarded.size:
+            f_targets = targets[forwarded]
+            order = np.argsort(f_targets, kind="stable")
+            self.buffers.push_batch(f_targets[order], rows[forwarded][order])
+        if free_rows:
+            arena.free(np.concatenate(free_rows))
+
+        st.link_estimator.update_batch(senders, targets, acks)
+        self.protocol.on_transmissions(st, senders, targets, acks)
 
     def _service(
         self,
         abs_slot: int,
-        heads: np.ndarray,
         bank: QueueBank,
-        fused: dict[int, list[tuple[PacketRecord, int]]],
+        fused: list[_FusedBatch],
         stats: PacketStats,
     ) -> None:
         st = self.state
+        if bank.k == 0:
+            return
         bits = self.config.traffic.packet_bits
         rate = self.config.queue.service_rate
-        for h in heads:
-            h = int(h)
-            if not st.ledger.is_alive(h):
-                continue
-            served = bank[h].serve(rate)
-            if not served:
-                continue
-            st.ledger.discharge(h, len(served) * st.radio.da(bits), "da")
-            fused[h].extend((pkt, abs_slot + 1) for pkt in served)
+        # Dead heads stop serving; their backlog expires at round end.
+        alive_heads = st.ledger.alive[bank.heads]
+        pos_rep, rows = bank.serve_batch(rate, alive_heads)
+        if rows.size == 0:
+            return
+        counts = np.bincount(pos_rep, minlength=bank.k)
+        active = np.flatnonzero(counts)
+        st.ledger.discharge_many(
+            bank.heads[active], counts[active] * st.radio.da(bits), "da"
+        )
+        fused.append((pos_rep, rows, abs_slot + 1))
 
     # ------------------------------------------------------------------
     def _uplink(
         self,
         heads: np.ndarray,
-        fused: dict[int, list[tuple[PacketRecord, int]]],
+        fused: list[_FusedBatch],
         bank: QueueBank,
         end_slot: int,
         stats: PacketStats,
@@ -260,38 +362,84 @@ class SimulationEngine:
         """
         st = self.state
         cfg = self.config
+        arena = self.arena
         bits = cfg.traffic.packet_bits
         ratio = cfg.compression_ratio
+        # Unserviced backlog expires with the round (membership
+        # rotates; stale samples are not carried over).
+        _, leftover = bank.drain_all()
+        if leftover.size:
+            stats.expired += leftover.size
+            arena.mark(leftover, PacketStatus.EXPIRED)
+            arena.free(leftover)
+        if fused:
+            all_pos = np.concatenate([b[0] for b in fused])
+            all_rows = np.concatenate([b[1] for b in fused])
+            all_slots = np.concatenate(
+                [np.full(b[1].size, b[2], dtype=np.int64) for b in fused]
+            )
+        else:
+            all_pos = all_rows = all_slots = np.empty(0, dtype=np.int64)
+        n_fused = np.bincount(all_pos, minlength=bank.k)
+        order = np.argsort(all_pos, kind="stable")  # per-head, slot order
+        all_rows = all_rows[order]
+        all_slots = all_slots[order]
+        seg_starts = np.cumsum(n_fused) - n_fused
+        # Fast path: when every walked head uplinks straight to the BS
+        # and the protocol takes no per-transmission feedback, each
+        # frame is one head->BS hop and the whole phase vectorizes
+        # (channel draws stay in head order, frame order).
+        from ..baselines.base import ClusteringProtocol
+
+        paths: dict[int, list[int]] = {}
+        direct_only = (
+            type(self.protocol).on_transmission
+            is ClusteringProtocol.on_transmission
+        )
+        if direct_only:
+            for j, h in enumerate(bank.heads):
+                if n_fused[j] == 0 or not st.ledger.is_alive(int(h)):
+                    continue
+                path = self.protocol.uplink_path(st, int(h), heads)
+                paths[int(h)] = path
+                if path:
+                    direct_only = False
+                    break
+        if direct_only:
+            self._uplink_direct(
+                bank, n_fused, seg_starts, all_rows, all_slots, stats
+            )
+            return
         total_service = cfg.queue.service_rate * cfg.traffic.slots_per_round
         relay_budget: dict[int, int] = {
-            int(h): max(0, total_service - len(fused.get(int(h), [])))
-            for h in heads
+            int(h): max(0, int(total_service - n_fused[j]))
+            for j, h in enumerate(bank.heads)
         }
-        for h in heads:
+        for j, h in enumerate(bank.heads):
             h = int(h)
-            # Unserviced backlog expires with the round (membership
-            # rotates; stale samples are not carried over).
-            for pkt in bank[h].drain():
-                pkt.status = PacketStatus.EXPIRED
-                stats.expired += 1
-            packets = fused.get(h, [])
-            if not packets:
+            count = int(n_fused[j])
+            if count == 0:
                 continue
+            seg = slice(seg_starts[j], seg_starts[j] + count)
+            rows = all_rows[seg]
+            slots = all_slots[seg]
             if not st.ledger.is_alive(h):
-                for pkt, _ in packets:
-                    pkt.status = PacketStatus.DROPPED_DEAD
-                    stats.dropped_dead += 1
+                stats.dropped_dead += count
+                arena.mark(rows, PacketStatus.DROPPED_DEAD)
+                arena.free(rows)
                 continue
             if cfg.aggregation == "perfect":
                 n_frames = 1
             elif cfg.aggregation == "none":
-                n_frames = len(packets)
+                n_frames = count
             else:  # "ratio" — Table 2's proportional compression
-                n_frames = max(1, math.ceil(len(packets) * ratio))
-            frames: list[list[tuple[PacketRecord, int]]] = [
-                packets[i::n_frames] for i in range(n_frames)
+                n_frames = max(1, math.ceil(count * ratio))
+            frames: list[tuple[np.ndarray, np.ndarray]] = [
+                (rows[i::n_frames], slots[i::n_frames]) for i in range(n_frames)
             ]
-            path = self.protocol.uplink_path(st, h, heads)
+            path = paths.get(h)
+            if path is None:
+                path = self.protocol.uplink_path(st, h, heads)
             chain = [h, *[int(p) for p in path], st.bs_index]
             surviving = frames
             for hop_idx in range(len(chain) - 1):
@@ -299,16 +447,16 @@ class SimulationEngine:
                 if not surviving:
                     break
                 if not st.ledger.is_alive(src):
-                    for frame in surviving:
-                        for pkt, _ in frame:
-                            pkt.status = PacketStatus.DROPPED_DEAD
-                            stats.dropped_dead += 1
+                    for frame_rows, _ in surviving:
+                        stats.dropped_dead += frame_rows.size
+                        arena.mark(frame_rows, PacketStatus.DROPPED_DEAD)
+                        arena.free(frame_rows)
                     surviving = []
                     break
                 d = st.distance(src, dst)
                 dst_alive = dst == st.bs_index or st.ledger.is_alive(dst)
-                next_frames: list[list[tuple[PacketRecord, int]]] = []
-                for frame in surviving:
+                next_frames: list[tuple[np.ndarray, np.ndarray]] = []
+                for frame_rows, frame_slots in surviving:
                     st.ledger.discharge(src, st.radio.tx(bits, d), "tx")
                     ok = dst_alive and st.channel.attempt(d)
                     if ok and dst != st.bs_index:
@@ -319,34 +467,119 @@ class SimulationEngine:
                             relay_budget[dst] -= 1
                         else:
                             ok = False
-                            for pkt, _ in frame:
-                                pkt.status = PacketStatus.DROPPED_QUEUE
-                                stats.dropped_queue += 1
+                            stats.dropped_queue += frame_rows.size
+                            arena.mark(frame_rows, PacketStatus.DROPPED_QUEUE)
+                            arena.free(frame_rows)
                             st.link_estimator.update(src, dst, ok)
                             self.protocol.on_transmission(st, src, dst, ok)
                             continue
                     st.link_estimator.update(src, dst, ok)
                     self.protocol.on_transmission(st, src, dst, ok)
                     if not ok:
-                        for pkt, _ in frame:
-                            if dst_alive:
-                                pkt.status = PacketStatus.DROPPED_CHANNEL
-                                stats.dropped_channel += 1
-                            else:
-                                pkt.status = PacketStatus.DROPPED_DEAD
-                                stats.dropped_dead += 1
+                        if dst_alive:
+                            stats.dropped_channel += frame_rows.size
+                            arena.mark(frame_rows, PacketStatus.DROPPED_CHANNEL)
+                        else:
+                            stats.dropped_dead += frame_rows.size
+                            arena.mark(frame_rows, PacketStatus.DROPPED_DEAD)
+                        arena.free(frame_rows)
                         continue
                     if dst != st.bs_index:
                         st.ledger.discharge(dst, st.radio.rx(bits), "rx")
-                    next_frames.append(frame)
+                    next_frames.append((frame_rows, frame_slots))
                 surviving = next_frames
             # Whatever survived the whole chain reached the BS.
             hop_count = len(chain) - 1
-            for frame in surviving:
-                for pkt, service_slot in frame:
-                    pkt.status = PacketStatus.DELIVERED
-                    pkt.delivered_slot = service_slot + hop_count
-                    stats.record_delivery(pkt.latency(), pkt.hops + hop_count)
+            for frame_rows, frame_slots in surviving:
+                arena.status[frame_rows] = PacketStatus.DELIVERED.code
+                arena.delivered_slot[frame_rows] = frame_slots + hop_count
+                stats.record_deliveries(
+                    arena.latencies(frame_rows),
+                    arena.hops[frame_rows] + hop_count,
+                )
+                arena.free(frame_rows)
+
+    def _uplink_direct(
+        self,
+        bank: QueueBank,
+        n_fused: np.ndarray,
+        seg_starts: np.ndarray,
+        all_rows: np.ndarray,
+        all_slots: np.ndarray,
+        stats: PacketStats,
+    ) -> None:
+        """Vectorized fusion uplink for the all-direct case.
+
+        Every frame is a single head->BS transmission, so tx pricing,
+        channel draws, estimator updates, and delivery accounting batch
+        across all heads at once.  The BS is always alive and the relay
+        budget never applies, which removes the per-frame branching of
+        the chain walk.
+        """
+        st = self.state
+        cfg = self.config
+        arena = self.arena
+        bits = cfg.traffic.packet_bits
+        active = np.flatnonzero(n_fused)
+        if active.size == 0:
+            return
+        alive = st.ledger.alive[bank.heads[active]]
+        # Dead heads lose their whole fused backlog before transmitting.
+        for j in active[~alive]:
+            seg = slice(seg_starts[j], seg_starts[j] + n_fused[j])
+            rows = all_rows[seg]
+            stats.dropped_dead += rows.size
+            arena.mark(rows, PacketStatus.DROPPED_DEAD)
+            arena.free(rows)
+        live = active[alive]
+        if live.size == 0:
+            return
+        counts = n_fused[live]
+        if cfg.aggregation == "perfect":
+            n_frames = np.ones(live.size, dtype=np.int64)
+        elif cfg.aggregation == "none":
+            n_frames = counts.astype(np.int64)
+        else:  # "ratio" — Table 2's proportional compression
+            n_frames = np.maximum(
+                1, np.ceil(counts * cfg.compression_ratio).astype(np.int64)
+            )
+        srcs = bank.heads[live]
+        d = st.topology.d_to_bs[srcs]
+        tx_e = st.radio.tx(bits, d)
+        # One frame = one transmission: discharge, draw, and ACK per
+        # frame, concatenated in head order then frame order — the same
+        # stream the scalar chain walk consumes.
+        frame_head = np.repeat(np.arange(live.size), n_frames)
+        st.ledger.discharge_many(srcs[frame_head], tx_e[frame_head], "tx")
+        draws = st.channel.attempt_batch(d[frame_head])
+        st.link_estimator.update_batch(
+            srcs[frame_head],
+            np.full(frame_head.size, st.bs_index, dtype=np.intp),
+            draws,
+        )
+        # Frame i of a head carries fused rows i::n_frames (the scalar
+        # walk's striding); map each row to its frame's draw.
+        row_head = np.repeat(np.arange(live.size), counts)
+        offs = np.arange(row_head.size, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        frame_base = np.cumsum(n_frames) - n_frames
+        frame_of_row = frame_base[row_head] + offs % n_frames[row_head]
+        gather = offs + np.repeat(seg_starts[live], counts)
+        rows_all = all_rows[gather]
+        slots_all = all_slots[gather]
+        ok = draws[frame_of_row]
+        won = rows_all[ok]
+        if won.size:
+            arena.status[won] = PacketStatus.DELIVERED.code
+            arena.delivered_slot[won] = slots_all[ok] + 1
+            stats.record_deliveries(arena.latencies(won), arena.hops[won] + 1)
+            arena.free(won)
+        lost = rows_all[~ok]
+        if lost.size:
+            stats.dropped_channel += lost.size
+            arena.mark(lost, PacketStatus.DROPPED_CHANNEL)
+            arena.free(lost)
 
     # ------------------------------------------------------------------
     def run_round(self) -> RoundStats:
@@ -372,8 +605,8 @@ class SimulationEngine:
         is_head = np.zeros(st.n, dtype=bool)
         if heads.size:
             is_head[heads] = True
-        bank = QueueBank(heads, cfg.queue.capacity)
-        fused: dict[int, list[tuple[PacketRecord, int]]] = {int(h): [] for h in heads}
+        bank = QueueBank(heads, cfg.queue.capacity, st.n)
+        fused: list[_FusedBatch] = []
         stats = PacketStats()
 
         slots = cfg.traffic.slots_per_round
@@ -382,21 +615,21 @@ class SimulationEngine:
             abs_slot = base_slot + slot
             self._generate(abs_slot, is_head, stats)
             self._transmit(abs_slot, heads, is_head, bank, stats)
-            self._service(abs_slot, heads, bank, fused, stats)
+            self._service(abs_slot, bank, fused, stats)
         self._uplink(heads, fused, bank, base_slot + slots, stats)
         self.protocol.on_round_end(st, heads)
 
         if self._first_death_round is None and st.ledger.any_dead:
             self._first_death_round = st.round_index + 1
 
-        peaks = [q.peak_length for _, q in bank.queues()]
+        peaks = bank.peak_lengths
         round_stats = RoundStats(
             round_index=st.round_index,
             n_heads=int(heads.size),
             n_alive=st.ledger.n_alive,
             energy_consumed=st.ledger.total_spent - energy_before,
             packets=stats,
-            mean_queue_peak=float(np.mean(peaks)) if peaks else 0.0,
+            mean_queue_peak=float(peaks.mean()) if peaks.size else 0.0,
             v_updates=getattr(self.protocol, "v_update_count", 0) - v_before,
         )
         self._rounds.append(round_stats)
@@ -413,11 +646,14 @@ class SimulationEngine:
             if self.stop_on_death and self._first_death_round is not None:
                 break
         # Source backlog that never left its sensor expires with the run.
-        for buf in self._buffers:
-            while buf:
-                pkt = buf.popleft()
-                pkt.status = PacketStatus.EXPIRED
-                self._totals.expired += 1
+        while True:
+            pending = np.flatnonzero(self.buffers.lengths > 0)
+            if pending.size == 0:
+                break
+            rows = self.buffers.pop(pending)
+            self._totals.expired += rows.size
+            self.arena.mark(rows, PacketStatus.EXPIRED)
+            self.arena.free(rows)
         result = SimulationResult(
             protocol=self.protocol.name,
             rounds_executed=len(self._rounds),

@@ -126,6 +126,45 @@ class NetworkState:
             out[real] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
         return out
 
+    def distances_many(self, nodes: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Pairwise link lengths ``|nodes[i] -> targets[i]|`` where
+        targets may include the BS sentinel (one slot's sender->relay
+        links in a single call)."""
+        nodes = np.asarray(nodes, dtype=np.intp)
+        targets = np.asarray(targets, dtype=np.intp)
+        out = np.empty(nodes.size, dtype=np.float64)
+        is_bs = targets == self.bs_index
+        if is_bs.any():
+            out[is_bs] = self.topology.d_to_bs[nodes[is_bs]]
+        real = ~is_bs
+        if real.any():
+            diff = (
+                self.nodes.positions[targets[real]]
+                - self.nodes.positions[nodes[real]]
+            )
+            out[real] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return out
+
+    def distances_matrix(self, nodes: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Full ``(len(nodes), len(targets))`` distance block; targets
+        may include the BS sentinel.  Elementwise identical to stacking
+        :meth:`distances_from` per node (same einsum/sqrt pipeline), so
+        batched relay scoring reproduces the scalar path bit-for-bit."""
+        nodes = np.asarray(nodes, dtype=np.intp)
+        targets = np.asarray(targets, dtype=np.intp)
+        out = np.empty((nodes.size, targets.size), dtype=np.float64)
+        is_bs = targets == self.bs_index
+        if is_bs.any():
+            out[:, is_bs] = self.topology.d_to_bs[nodes][:, None]
+        real = ~is_bs
+        if real.any():
+            diff = (
+                self.nodes.positions[targets[real]][None, :, :]
+                - self.nodes.positions[nodes][:, None, :]
+            )
+            out[:, real] = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        return out
+
     def average_energy_estimate(self) -> float:
         """Paper Eq. (2): linear-decay estimate of the network's average
         energy at the current round, ``E(r) = (1/N) E_init (1 - r/R)``.

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.sweep import PROTOCOLS, SweepResult, run_cell, sweep_protocols
+from repro.analysis.sweep import PROTOCOLS, run_cell, sweep_protocols
 
 
 class TestRegistry:

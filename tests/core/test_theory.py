@@ -94,7 +94,9 @@ class TestTheorem1:
         ks = np.arange(1, min(int(2 * k_cf) + 10, n) + 1)
         curve = round_energy_curve(4000.0, n, ks, side, d_bs)
         k_num = int(ks[np.argmin(curve)])
-        assert abs(k_cf - k_num) <= 1.0
+        # The scan is clamped to k <= n, so compare against the
+        # feasible-range projection of the continuous argmin.
+        assert abs(min(k_cf, float(n)) - k_num) <= 1.0
 
     def test_table2_instance_is_about_11(self):
         """With Table 2's constants and a centred BS the closed form

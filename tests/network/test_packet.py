@@ -1,8 +1,15 @@
 """Tests for packet records and aggregate statistics."""
 
+import numpy as np
 import pytest
 
-from repro.network.packet import PacketRecord, PacketStats, PacketStatus
+from repro.network.packet import (
+    LatencyReservoir,
+    PacketArena,
+    PacketRecord,
+    PacketStats,
+    PacketStatus,
+)
 
 
 class TestPacketRecord:
@@ -65,3 +72,104 @@ class TestPacketStats:
 
     def test_validate_allows_in_flight(self):
         PacketStats(generated=5, delivered=2).validate()  # 3 still flying
+
+class TestPacketArena:
+    def test_alloc_initialises_columns(self):
+        arena = PacketArena()
+        rows = arena.alloc(np.array([4, 7]), born_slot=12)
+        assert arena.source[rows].tolist() == [4, 7]
+        assert arena.born_slot[rows].tolist() == [12, 12]
+        assert arena.hops[rows].tolist() == [0, 0]
+        assert arena.retries[rows].tolist() == [0, 0]
+        assert arena.delivered_slot[rows].tolist() == [-1, -1]
+        assert arena.status[rows].tolist() == [PacketStatus.IN_FLIGHT.code] * 2
+        assert arena.n_live == 2
+
+    def test_free_list_reuses_rows(self):
+        arena = PacketArena()
+        first = arena.alloc(np.array([0, 1, 2]), born_slot=0)
+        arena.free(first)
+        assert arena.n_live == 0
+        second = arena.alloc(np.array([5, 6, 7]), born_slot=3)
+        assert sorted(second.tolist()) == sorted(first.tolist())
+        assert arena.source[second].tolist() == [5, 6, 7]
+
+    def test_grows_past_initial_capacity(self):
+        arena = PacketArena()
+        rows = arena.alloc(np.arange(5000, dtype=np.int64), born_slot=0)
+        assert np.unique(rows).size == 5000
+        assert arena.n_live == 5000
+
+    def test_record_snapshot(self):
+        arena = PacketArena()
+        (row,) = arena.alloc(np.array([9]), born_slot=4)
+        arena.hops[row] = 2
+        arena.delivered_slot[row] = 10
+        arena.mark(np.array([row]), PacketStatus.DELIVERED)
+        pkt = arena.record(int(row))
+        assert pkt.source == 9
+        assert pkt.born_slot == 4
+        assert pkt.hops == 2
+        assert pkt.status is PacketStatus.DELIVERED
+        assert pkt.latency() == 6
+
+    def test_latencies(self):
+        arena = PacketArena()
+        rows = arena.alloc(np.array([0, 1]), born_slot=2)
+        arena.delivered_slot[rows] = [5, 9]
+        assert arena.latencies(rows).tolist() == [3, 7]
+
+
+class TestLatencyReservoir:
+    def test_exact_below_capacity(self):
+        r = LatencyReservoir(capacity=10)
+        r.add_many(np.array([3, 1, 4]))
+        r.add(5)
+        assert sorted(r.values.tolist()) == [1, 3, 4, 5]
+        assert r.count == 4
+        assert len(r) == 4
+
+    def test_bounded_above_capacity(self):
+        r = LatencyReservoir(capacity=8)
+        r.add_many(np.arange(1000, dtype=np.int64))
+        assert len(r) == 8
+        assert r.count == 1000
+        assert set(r.values.tolist()) <= set(range(1000))
+
+    def test_deterministic(self):
+        a, b = LatencyReservoir(capacity=8), LatencyReservoir(capacity=8)
+        for res in (a, b):
+            res.add_many(np.arange(500, dtype=np.int64))
+        assert a == b
+
+    def test_batch_matches_scalar_sequence(self):
+        a, b = LatencyReservoir(capacity=16), LatencyReservoir(capacity=16)
+        data = np.arange(300, dtype=np.int64)
+        a.add_many(data)
+        for x in data:
+            b.add(int(x))
+        assert a == b
+
+    def test_merge_exact_when_fits(self):
+        a, b = LatencyReservoir(capacity=32), LatencyReservoir(capacity=32)
+        a.add_many(np.array([1, 2]))
+        b.add_many(np.array([3]))
+        a.merge(b)
+        assert sorted(a.values.tolist()) == [1, 2, 3]
+        assert a.count == 3
+
+
+class TestPacketStatsBatch:
+    def test_record_deliveries_matches_scalar(self):
+        a, b = PacketStats(generated=4), PacketStats(generated=4)
+        a.record_deliveries(np.array([2, 3, 4]), np.array([1, 1, 2]))
+        for lat, hops in ((2, 1), (3, 1), (4, 2)):
+            b.record_delivery(lat, hops)
+        assert a.delivered == b.delivered
+        assert a.total_latency_slots == b.total_latency_slots
+        assert a.total_hops == b.total_hops
+        assert a.latencies == b.latencies
+
+    def test_record_deliveries_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PacketStats().record_deliveries(np.array([1, -2]), np.array([1, 1]))

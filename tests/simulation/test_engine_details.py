@@ -2,13 +2,11 @@
 budget reset, hop-by-hop forwarding internals."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import FCMProtocol, QELARProtocol, TLLEACHProtocol
 from repro.baselines.base import ClusteringProtocol
 from repro.config import QueueConfig
 from repro.core import QLECProtocol
-from repro.network.packet import PacketStatus
 from repro.simulation.engine import SimulationEngine, run_simulation
 from tests.conftest import make_config
 
@@ -111,9 +109,9 @@ class TestHopByHop:
         engine = SimulationEngine(config, QLECProtocol())
         engine.run_round()
         # Buffers may hold each node's OWN unsent packets only.
-        for node, buf in enumerate(engine._buffers):
-            for pkt in buf:
-                assert pkt.source == node
+        for node in range(engine.state.n):
+            for row in engine.buffers.indices(node):
+                assert engine.arena.source[row] == node
 
 
 class TestExpiryAccounting:
@@ -132,7 +130,7 @@ class TestExpiryAccounting:
         engine = SimulationEngine(config, QLECProtocol())
         engine.run()
         # Nothing remains in CH queues after the run (drained + expired).
-        assert all(len(b) == 0 for b in engine._buffers)
+        assert engine.buffers.total == 0
 
 
 class TestTLLEACHUplinkEnergy:

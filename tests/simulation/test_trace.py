@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 
 from repro.core import QLECProtocol
 from repro.simulation import SimulationEngine, TraceRecorder

@@ -23,25 +23,29 @@ class TestGoldenQLECReferenceRun:
     def result(self):
         return run_simulation(paper_config(seed=0), QLECProtocol())
 
+    # Constants regenerated when the slot kernel moved to the canonical
+    # sorted-sender draw order (the old engine shuffled senders, so its
+    # channel stream consumed different uniforms per slot).
+
     def test_packet_counts(self, result):
         assert result.packets.generated == 4616
-        assert result.packets.delivered == 4273
+        assert result.packets.delivered == 4215
 
     def test_delivery_rate(self, result):
-        assert result.delivery_rate == pytest.approx(0.92569, abs=1e-4)
+        assert result.delivery_rate == pytest.approx(0.91313, abs=1e-4)
 
     def test_total_energy(self, result):
-        assert result.total_energy == pytest.approx(5.804548, abs=1e-5)
+        assert result.total_energy == pytest.approx(6.050271, abs=1e-5)
 
     def test_lifespan_censored(self, result):
         assert result.lifespan == 20
         assert result.lifespan_censored
 
     def test_balance_index(self, result):
-        assert result.energy_balance_index() == pytest.approx(0.8902, abs=1e-3)
+        assert result.energy_balance_index() == pytest.approx(0.8362, abs=1e-3)
 
     def test_mean_latency(self, result):
-        assert result.mean_latency == pytest.approx(2.400, abs=1e-2)
+        assert result.mean_latency == pytest.approx(2.408, abs=1e-2)
 
 
 class TestGoldenAnalytics:

@@ -6,7 +6,6 @@ every example is a real (small) simulation or a full selection round.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
