@@ -109,6 +109,64 @@ def test_slot_kernel_round_n2896(benchmark):
     assert rs.packets.generated > 20_000
 
 
+def test_telemetry_disabled_overhead_under_2pct():
+    """Disabled telemetry must cost < 2 % of the N=2896 slot-kernel
+    round.
+
+    When no :class:`Telemetry` is attached the engine holds the NULL
+    singleton, so the whole disabled cost is its no-op hook calls.  We
+    measure the per-call cost of the hooks directly, multiply by the
+    number of markers one round issues, and compare against the
+    measured round time — a deterministic bound that doesn't depend on
+    run-to-run jitter between two full-round timings.
+    """
+    import time
+
+    from repro.simulation.engine import SimulationEngine
+    from repro.telemetry import NULL
+
+    cfg = _slot_kernel_config()
+    best = float("inf")
+    for _ in range(2):
+        engine = SimulationEngine(cfg, QLECProtocol(), batched=True)
+        t0 = time.perf_counter()
+        engine.run_round()
+        best = min(best, time.perf_counter() - t0)
+
+    calls = 200_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        NULL.lap("phase")
+    per_call = (time.perf_counter() - t0) / calls
+
+    # Markers per round: ~8 lap sites per slot x slots_per_round, plus
+    # a handful of per-round hooks; 100x headroom on the count.
+    slots = cfg.traffic.slots_per_round
+    markers = (8 * slots + 20) * 100
+    overhead = per_call * markers
+    assert overhead < 0.02 * best, (
+        f"disabled telemetry overhead {overhead * 1e6:.1f}us "
+        f"vs round {best * 1e3:.1f}ms"
+    )
+
+
+def test_telemetry_enabled_round_n2896(benchmark):
+    """One instrumented ``run_round`` at scale (for timing diffs against
+    ``test_slot_kernel_round_n2896``)."""
+    from repro.simulation.engine import SimulationEngine
+    from repro.telemetry import Telemetry
+
+    cfg = _slot_kernel_config()
+
+    def fresh_round():
+        return SimulationEngine(
+            cfg, QLECProtocol(), batched=True, telemetry=Telemetry()
+        ).run_round()
+
+    rs = benchmark(fresh_round)
+    assert rs.packets.generated > 20_000
+
+
 def test_slot_kernel_speedup_and_identity():
     """The batched kernel must beat the scalar reference path by >= 3x
     on the congested instance while producing identical aggregates."""

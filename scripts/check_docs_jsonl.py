@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Lint the JSONL examples embedded in the documentation.
+
+Documentation drifts; schemas don't have to.  This script extracts
+every fenced ```jsonl block from the given markdown files, checks that
+each line parses as JSON, and validates any manifest line against the
+real schema in :mod:`repro.telemetry.manifest` — the keys
+:func:`run_manifest` emits, with the right value types and the current
+schema version.  Round-record lines are checked against the
+:class:`repro.simulation.trace.RoundTrace` field set.
+
+Usage: PYTHONPATH=src python scripts/check_docs_jsonl.py docs/observability.md
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from dataclasses import fields
+from pathlib import Path
+
+from repro.simulation.trace import RoundTrace
+from repro.telemetry.manifest import MANIFEST_KIND, MANIFEST_SCHEMA
+
+#: Key -> required type(s) of every field run_manifest() always emits.
+MANIFEST_KEYS = {
+    "kind": str,
+    "schema": int,
+    "package": str,
+    "version": str,
+    "protocol": str,
+    "seed": int,
+    "config_fingerprint": str,
+    "n_nodes": int,
+    "rounds": int,
+    "mean_interarrival": (int, float),
+}
+
+FENCE = re.compile(r"^```jsonl\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def check_manifest(obj: dict, where: str) -> list[str]:
+    errors = []
+    for key, typ in MANIFEST_KEYS.items():
+        if key not in obj:
+            errors.append(f"{where}: manifest missing key {key!r}")
+        elif not isinstance(obj[key], typ):
+            errors.append(
+                f"{where}: manifest key {key!r} has type "
+                f"{type(obj[key]).__name__}, expected {typ}"
+            )
+    if obj.get("schema") != MANIFEST_SCHEMA:
+        errors.append(
+            f"{where}: manifest schema {obj.get('schema')} != {MANIFEST_SCHEMA}"
+        )
+    fp = obj.get("config_fingerprint", "")
+    if not re.fullmatch(r"[0-9a-f]{16}", fp):
+        errors.append(f"{where}: config_fingerprint {fp!r} is not 16 hex digits")
+    return errors
+
+
+def check_round_record(obj: dict, where: str) -> list[str]:
+    known = {f.name for f in fields(RoundTrace)}
+    unknown = set(obj) - known
+    missing = known - set(obj)
+    errors = []
+    if unknown:
+        errors.append(f"{where}: unknown round-record keys {sorted(unknown)}")
+    if missing:
+        errors.append(f"{where}: round record missing keys {sorted(missing)}")
+    return errors
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    blocks = FENCE.findall(path.read_text(encoding="utf-8"))
+    if not blocks:
+        errors.append(f"{path}: no ```jsonl blocks found")
+    for bi, block in enumerate(blocks):
+        for li, line in enumerate(filter(None, map(str.strip, block.splitlines()))):
+            where = f"{path} block {bi + 1} line {li + 1}"
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{where}: invalid JSON ({exc})")
+                continue
+            if obj.get("kind") == MANIFEST_KIND:
+                if li != 0:
+                    errors.append(f"{where}: manifest must be the first line")
+                errors.extend(check_manifest(obj, where))
+            else:
+                errors.extend(check_round_record(obj, where))
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_docs_jsonl.py <markdown file>...", file=sys.stderr)
+        return 2
+    all_errors = []
+    for name in argv:
+        all_errors.extend(check_file(Path(name)))
+    for err in all_errors:
+        print(f"ERROR {err}", file=sys.stderr)
+    if not all_errors:
+        print(f"ok: {len(argv)} file(s) checked")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

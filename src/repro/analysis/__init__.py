@@ -6,7 +6,7 @@ from .io import load_sweep, rows_to_csv, save_sweep, sweep_to_csv
 from .report import ReportConfig, generate_report
 from .stats import MeanCI, censored_mean, jains_index, latency_percentiles, mean_ci
 from .sweep import PROTOCOLS, SweepResult, run_cell, sweep_protocols
-from .tables import render_kv, render_series, render_table
+from .tables import render_kv, render_series, render_table, render_telemetry
 
 __all__ = [
     "MeanCI",
@@ -31,6 +31,7 @@ __all__ = [
     "win_matrix",
     "render_series",
     "render_table",
+    "render_telemetry",
     "run_cell",
     "sweep_protocols",
     "sweep_to_csv",

@@ -13,7 +13,7 @@ import io
 import platform
 from dataclasses import dataclass
 
-__all__ = ["ReportConfig", "generate_report"]
+__all__ = ["ReportConfig", "generate_report", "telemetry_section"]
 
 
 @dataclass(frozen=True)
@@ -27,6 +27,9 @@ class ReportConfig:
     serial: bool = False
     #: Skip the slower drivers (fig4, ablation) for a quick look.
     quick: bool = False
+    #: Append the instrumented Table-2 QLEC run (phase timers, energy
+    #: and drop breakdown) as an observability section.
+    telemetry: bool = True
 
 
 def _block(title: str, body: str) -> str:
@@ -95,4 +98,27 @@ def generate_report(config: ReportConfig | None = None) -> str:
         ablation = run_ablation(seeds=cfg.seeds[:2])
         out.write(_block("Ablation", render_ablation(ablation)))
 
+    if cfg.telemetry:
+        out.write(_block("Observability — instrumented QLEC run", telemetry_section(cfg)))
+
     return out.getvalue()
+
+
+def telemetry_section(config: ReportConfig | None = None) -> str:
+    """One instrumented Table-2 QLEC run, rendered as the phase/energy/
+    drop breakdown (see docs/observability.md)."""
+    from .sweep import run_cell
+    from .tables import render_telemetry
+
+    cfg = config if config is not None else ReportConfig()
+    summary = run_cell(
+        "qlec",
+        mean_interarrival=cfg.lambdas[0],
+        seed=cfg.seeds[0],
+        telemetry=True,
+    )
+    header = (
+        f"Table-2 scenario, protocol=qlec, lambda={cfg.lambdas[0]}, "
+        f"seed={cfg.seeds[0]}\n\n"
+    )
+    return header + render_telemetry(summary["telemetry"])

@@ -26,8 +26,9 @@ from ..baselines import (
 from ..baselines.base import ClusteringProtocol
 from ..config import paper_config
 from ..core import QLECProtocol
-from ..parallel import run_tasks
+from ..parallel import fold_results, run_tasks
 from ..simulation import run_simulation
+from ..telemetry import Telemetry, merge_snapshots
 from .stats import mean_ci
 
 __all__ = ["PROTOCOLS", "SweepResult", "run_cell", "sweep_protocols"]
@@ -54,11 +55,15 @@ def run_cell(
     initial_energy: float = 0.25,
     rounds: int = 20,
     stop_on_death: bool = False,
+    telemetry: bool = False,
 ) -> dict:
     """One sweep cell: build the Table-2 scenario and run one protocol.
 
     Module-level so it is picklable for the process pool.  Returns the
-    flat result summary plus the consumption-balance index.
+    flat result summary plus the consumption-balance index; with
+    ``telemetry=True`` the summary additionally carries the cell's
+    metric snapshot under ``"telemetry"`` (a plain JSON-able dict — the
+    picklable per-worker half of the sweep-level merge).
     """
     if protocol not in PROTOCOLS:
         raise KeyError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
@@ -68,17 +73,33 @@ def run_cell(
         rounds=rounds,
         initial_energy=initial_energy,
     )
-    result = run_simulation(config, PROTOCOLS[protocol](), stop_on_death=stop_on_death)
+    tel = Telemetry() if telemetry else None
+    result = run_simulation(
+        config,
+        PROTOCOLS[protocol](),
+        stop_on_death=stop_on_death,
+        telemetry=tel,
+    )
     summary = result.summary()
     summary["protocol"] = protocol  # registry name, not class default
+    if tel is not None:
+        summary["telemetry"] = tel.snapshot()
     return summary
 
 
 @dataclass
 class SweepResult:
-    """All cell summaries of one sweep plus aggregation helpers."""
+    """All cell summaries of one sweep plus aggregation helpers.
+
+    ``telemetry`` holds the merged metric snapshot of every cell when
+    the sweep ran with telemetry (None otherwise).  The merge is
+    order-insensitive, so the pool's completion order cannot leak into
+    it: a 2-worker sweep and a serial sweep agree exactly on every
+    deterministic (non-``time/``) metric.
+    """
 
     rows: list[dict] = field(default_factory=list)
+    telemetry: dict | None = None
 
     def filtered(self, **match) -> list[dict]:
         out = self.rows
@@ -120,6 +141,7 @@ def sweep_protocols(
     stop_on_death: bool = False,
     max_workers: int | None = None,
     serial: bool = False,
+    telemetry: bool = False,
 ) -> SweepResult:
     """Run the full (protocol x lambda x seed) grid in parallel.
 
@@ -127,12 +149,22 @@ def sweep_protocols(
     scenarios per seed across protocols (the deployment/traffic streams
     depend only on the seed), cells scheduled over the process pool,
     results in deterministic order.
+
+    With ``telemetry=True`` every cell instruments its run; per-cell
+    snapshots come back with the rows and fold (in submission order,
+    with an order-insensitive merge) into ``SweepResult.telemetry``.
     """
     cells = [
-        (p, lam, seed, initial_energy, rounds, stop_on_death)
+        (p, lam, seed, initial_energy, rounds, stop_on_death, telemetry)
         for p in protocols
         for lam in lambdas
         for seed in seeds
     ]
-    rows = run_tasks(run_cell, cells, max_workers=max_workers, serial=serial)
-    return SweepResult(rows=list(rows))
+    rows = list(
+        run_tasks(run_cell, cells, max_workers=max_workers, serial=serial)
+    )
+    merged = None
+    if telemetry:
+        snaps = [row.pop("telemetry") for row in rows]
+        merged = fold_results(snaps, merge_snapshots)
+    return SweepResult(rows=rows, telemetry=merged)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-__all__ = ["render_table", "render_series", "render_kv"]
+__all__ = ["render_table", "render_series", "render_kv", "render_telemetry"]
 
 
 def _fmt(value: Any, precision: int) -> str:
@@ -88,3 +88,85 @@ def render_kv(pairs: Mapping[str, Any], precision: int = 4, title: str | None = 
     if title:
         lines.insert(0, title)
     return "\n".join(lines)
+
+
+#: Pipeline order of the engine's phase taxonomy (docs/observability.md);
+#: phases outside this list render after it, alphabetically.
+PHASE_ORDER = (
+    "setup", "ch_select", "generate", "relay_choice", "discharge",
+    "channel", "queue_offer", "estimator", "service", "uplink", "round_end",
+)
+
+
+def render_telemetry(
+    snapshot: Mapping[str, Mapping[str, Any]],
+    title: str | None = "Telemetry breakdown",
+) -> str:
+    """Render a telemetry metric snapshot as the per-phase breakdown.
+
+    Three blocks: wall-clock per pipeline phase (with its share of the
+    attributed time and the coverage of measured round time), energy by
+    radio category, and packets by terminal outcome — the where-does-
+    time/energy/loss-go view the sharding and compiled-backend roadmap
+    items need.
+    """
+    if not snapshot:
+        return (title + "\n" if title else "") + "(no telemetry)"
+    blocks: list[str] = []
+
+    phases = {
+        name.removeprefix("time/phase/"): m["value"]
+        for name, m in snapshot.items()
+        if name.startswith("time/phase/")
+    }
+    if phases:
+        total = sum(phases.values())
+        ordered = [p for p in PHASE_ORDER if p in phases]
+        ordered += sorted(set(phases) - set(ordered))
+        rows = [
+            {
+                "phase": p,
+                "time_s": phases[p],
+                "share": phases[p] / total if total else 0.0,
+            }
+            for p in ordered
+        ]
+        rows.append({"phase": "(sum)", "time_s": total, "share": 1.0})
+        block = render_table(rows, precision=4, title=title)
+        round_time = snapshot.get("time/round")
+        if round_time and round_time.get("count"):
+            coverage = total / round_time["total"] if round_time["total"] else 0.0
+            block += (
+                f"\nphase coverage: {coverage:.1%} of "
+                f"{round_time['total']:.4f}s over {round_time['count']} rounds"
+            )
+        blocks.append(block)
+    elif title:
+        blocks.append(title)
+
+    energy = {
+        name.removeprefix("energy/").removesuffix("_j"): m["value"]
+        for name, m in snapshot.items()
+        if name.startswith("energy/")
+    }
+    if energy:
+        blocks.append(
+            render_kv(energy, precision=6, title="energy by category [J]")
+        )
+
+    packets = {
+        name.removeprefix("packets/"): m["value"]
+        for name, m in snapshot.items()
+        if name.startswith("packets/")
+    }
+    if packets:
+        blocks.append(render_kv(packets, title="packets by outcome"))
+
+    attempts = snapshot.get("channel/attempts")
+    acks = snapshot.get("channel/acks")
+    if attempts and attempts["value"]:
+        blocks.append(
+            f"channel: {acks['value']}/{attempts['value']} attempts ACKed "
+            f"({acks['value'] / attempts['value']:.1%})"
+        )
+    return "\n\n".join(blocks)

@@ -34,6 +34,8 @@ def build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--seed", type=int, default=7)
     quick.add_argument("--lam", type=float, default=4.0,
                        help="mean packet inter-arrival (congestion level)")
+    quick.add_argument("--telemetry", action="store_true",
+                       help="print the per-phase time/energy/drop breakdown")
 
     fig3 = sub.add_parser("fig3", help="regenerate Fig. 3 (a)-(c)")
     fig3.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
@@ -41,6 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[2.0, 4.0, 8.0, 16.0])
     fig3.add_argument("--serial", action="store_true",
                       help="disable the process pool")
+    fig3.add_argument("--telemetry", action="store_true",
+                      help="print the sweep-merged telemetry breakdown")
 
     fig4 = sub.add_parser("fig4", help="large-scale dataset run (Fig. 4)")
     fig4.add_argument("--nodes", type=int, default=2896)
@@ -76,6 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--seed", type=int, default=0)
     scen.add_argument("--layout", action="store_true",
                       help="print the ASCII network layout")
+    scen.add_argument("--telemetry", action="store_true",
+                      help="print the per-phase time/energy/drop breakdown")
 
     rep = sub.add_parser("report", help="run everything, write REPORT.md")
     rep.add_argument("--out", type=str, default="REPORT.md")
@@ -86,19 +92,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_quickstart(args) -> int:
-    from .analysis import render_table
+    from .analysis import render_table, render_telemetry
     from .analysis.sweep import PROTOCOLS, run_cell
+    from .parallel import fold_results
+    from .telemetry import merge_snapshots
 
     rows = [
-        run_cell(name, args.lam, args.seed)
+        run_cell(name, args.lam, args.seed, telemetry=args.telemetry)
         for name in ("qlec", "fcm", "kmeans", "deec", "leach", "direct")
     ]
+    snaps = [row.pop("telemetry", None) for row in rows]
     print(render_table(rows, title=f"Table-2 scenario, lambda={args.lam}"))
+    if args.telemetry:
+        merged = fold_results([s for s in snaps if s], merge_snapshots)
+        print()
+        print(render_telemetry(merged, title="Telemetry (all protocols)"))
     _ = PROTOCOLS  # documented entry point for custom protocols
     return 0
 
 
 def _cmd_fig3(args) -> int:
+    from .analysis import render_telemetry
     from .experiments import Fig3Config, run_fig3
 
     result = run_fig3(
@@ -106,9 +120,13 @@ def _cmd_fig3(args) -> int:
             lambdas=tuple(args.lambdas),
             seeds=tuple(args.seeds),
             serial=args.serial,
+            telemetry=args.telemetry,
         )
     )
     print(result.render())
+    if args.telemetry and result.telemetry is not None:
+        print()
+        print(render_telemetry(result.telemetry, title="Telemetry (sweep merge)"))
     return 0
 
 
@@ -205,16 +223,18 @@ def _cmd_sensitivity(args) -> int:
 
 
 def _cmd_scenario(args) -> int:
-    from .analysis import network_ascii, render_table
+    from .analysis import network_ascii, render_table, render_telemetry
     from .analysis.sweep import PROTOCOLS
     from .simulation import SimulationEngine, build_scenario, scenario_names
+    from .telemetry import Telemetry
 
     if args.name in ("--list", "list"):
         print("\n".join(scenario_names()))
         return 0
     config, nodes, bs = build_scenario(args.name, seed=args.seed)
+    tel = Telemetry() if args.telemetry else None
     engine = SimulationEngine(
-        config, PROTOCOLS[args.protocol](), nodes=nodes, bs=bs
+        config, PROTOCOLS[args.protocol](), nodes=nodes, bs=bs, telemetry=tel
     )
     result = engine.run()
     if args.layout:
@@ -226,6 +246,9 @@ def _cmd_scenario(args) -> int:
         print()
     print(render_table([result.summary()],
                        title=f"{args.protocol} on scenario {args.name!r}"))
+    if tel is not None:
+        print()
+        print(render_telemetry(tel.snapshot()))
     return 0
 
 

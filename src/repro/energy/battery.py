@@ -114,6 +114,15 @@ class EnergyLedger:
         metric Fig. 3(b) reports; unaffected by harvesting income."""
         return self.spent_tx + self.spent_rx + self.spent_da
 
+    def category_breakdown(self) -> dict[str, float]:
+        """Cumulative gross spend per radio category.
+
+        The telemetry layer diffs successive snapshots of this dict to
+        attribute each round's joules to transmit / receive /
+        aggregation without the ledger keeping per-round state.
+        """
+        return {"tx": self.spent_tx, "rx": self.spent_rx, "da": self.spent_da}
+
     def consumption_ratio(self) -> np.ndarray:
         """Per-node consumed / initial energy ratio (Figure 4's metric)."""
         return (self._initial - self._residual) / self._initial

@@ -43,6 +43,9 @@ class Fig3Config:
     rounds: int = 20
     serial: bool = False
     max_workers: int | None = None
+    #: Instrument every cell and keep the merged metric snapshot on
+    #: ``Fig3Result.telemetry``.
+    telemetry: bool = False
 
 
 @dataclass
@@ -55,6 +58,12 @@ class Fig3Result:
     energy: dict[str, list[float]] = field(default_factory=dict)
     lifespan: dict[str, list[float]] = field(default_factory=dict)
     latency: dict[str, list[float]] = field(default_factory=dict)
+
+    @property
+    def telemetry(self) -> dict | None:
+        """Merged metric snapshot across all cells (None unless the
+        sweep ran with ``Fig3Config.telemetry=True``)."""
+        return self.sweep.telemetry
 
     def render(self) -> str:
         lams = list(self.config.lambdas)
@@ -90,6 +99,7 @@ def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
         rounds=cfg.rounds,
         serial=cfg.serial,
         max_workers=cfg.max_workers,
+        telemetry=cfg.telemetry,
     )
     lams = list(cfg.lambdas)
     return Fig3Result(

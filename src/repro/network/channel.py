@@ -225,6 +225,17 @@ class Channel:
         #: Failure-injection switch: when True every transmission fails
         #: (used by fault tests; never enabled in experiments).
         self.blackout = blackout
+        # Telemetry counters (None until bind_telemetry): attempts and
+        # ACKs feed the link-level loss-rate view.  Checked once per
+        # *batch*, not per packet, so the disabled cost is one branch.
+        self._tel_attempts = None
+        self._tel_acks = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Route attempt/ACK counts into a telemetry registry
+        (``channel/attempts``, ``channel/acks``)."""
+        self._tel_attempts = telemetry.registry.counter("channel/attempts")
+        self._tel_acks = telemetry.registry.counter("channel/acks")
 
     def success_probability(self, distance):
         """Vectorized ground-truth delivery probability."""
@@ -235,9 +246,15 @@ class Channel:
     def attempt(self, distance: float) -> bool:
         """Simulate one transmission over ``distance``; True on ACK."""
         if self.blackout:
-            return False
-        p = self.success_probability(distance)
-        return bool(self.rng.random() < p)
+            ok = False
+        else:
+            p = self.success_probability(distance)
+            ok = bool(self.rng.random() < p)
+        if self._tel_attempts is not None:
+            self._tel_attempts.add(1)
+            if ok:
+                self._tel_acks.add(1)
+        return ok
 
     def attempt_batch(self, distances: np.ndarray) -> np.ndarray:
         """Vectorized Bernoulli trials for a batch of links.
@@ -248,9 +265,14 @@ class Channel:
         """
         distances = np.asarray(distances, dtype=np.float64)
         if self.blackout:
-            return np.zeros(distances.shape, dtype=bool)
-        p = self.success_probability(distances)
-        return self.rng.random(distances.shape) < p
+            out = np.zeros(distances.shape, dtype=bool)
+        else:
+            p = self.success_probability(distances)
+            out = self.rng.random(distances.shape) < p
+        if self._tel_attempts is not None:
+            self._tel_attempts.add(out.size)
+            self._tel_acks.add(int(out.sum()))
+        return out
 
     #: Backward-compatible alias for :meth:`attempt_batch`.
     attempt_many = attempt_batch

@@ -24,7 +24,22 @@ import numpy as np
 
 from .packet import PacketArena
 
-__all__ = ["SourceBuffers", "QueueBank"]
+__all__ = ["SourceBuffers", "QueueBank", "utilization"]
+
+
+def utilization(lengths: np.ndarray, capacity: int) -> np.ndarray:
+    """Backlog as a fraction of configured capacity, per queue.
+
+    The telemetry layer observes this over each round's peak backlogs
+    (``QueueBank.peak_lengths``): a sweep whose utilization gauge sits
+    near 1.0 is queue-limited and more CH capacity (or service rate)
+    would move its delivery rate; near 0.0 the queues are irrelevant
+    and drops are channel- or liveness-bound.
+    """
+    lengths = np.asarray(lengths, dtype=np.float64)
+    if capacity <= 0:
+        return np.zeros_like(lengths)
+    return lengths / float(capacity)
 
 
 def _run_ranks(sorted_vals: np.ndarray) -> np.ndarray:

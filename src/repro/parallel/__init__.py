@@ -1,6 +1,12 @@
 """Parallel sweep machinery: process pools + deterministic seeds."""
 
-from .pool import default_workers, run_tasks
+from .pool import default_workers, fold_results, run_tasks
 from .rng import SeedFactory, spawn_generators
 
-__all__ = ["SeedFactory", "default_workers", "run_tasks", "spawn_generators"]
+__all__ = [
+    "SeedFactory",
+    "default_workers",
+    "fold_results",
+    "run_tasks",
+    "spawn_generators",
+]

@@ -15,6 +15,10 @@ Design notes
   tests fast and debuggable.
 * Results come back in *submission order*, not completion order, so a
   sweep's output table is deterministic.
+* Per-worker accumulators (telemetry registries, ``PacketStats``,
+  ``LatencyReservoir``) come home as picklable values and fold with an
+  *order-insensitive* merge; :func:`fold_results` runs that reduction
+  in submission order so pool and serial execution agree exactly.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
-__all__ = ["run_tasks", "default_workers"]
+__all__ = ["run_tasks", "fold_results", "default_workers"]
 
 
 def default_workers(max_workers: int | None = None) -> int:
@@ -79,3 +83,24 @@ def run_tasks(
         raise ValueError("chunksize must be >= 1")
     with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
         return list(pool.map(_call, tasks, chunksize=chunksize))
+
+
+def fold_results(
+    results: Iterable[Any], merge: Callable[[Any, Any], Any]
+) -> Any:
+    """Reduce per-task results with a two-argument ``merge``.
+
+    ``run_tasks`` already returns results in submission order, so this
+    left fold is deterministic for any pool size; when ``merge`` is
+    additionally commutative (the telemetry / ``PacketStats`` merge
+    contract), the fold equals the serial sweep's accumulation exactly.
+    Returns ``None`` for an empty iterable.
+    """
+    acc = None
+    first = True
+    for r in results:
+        if first:
+            acc, first = r, False
+        else:
+            acc = merge(acc, r)
+    return acc

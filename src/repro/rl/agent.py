@@ -90,6 +90,7 @@ def train_on_mdp(
     episodes: int,
     max_steps: int = 100,
     start_states: np.ndarray | None = None,
+    telemetry=None,
 ) -> np.ndarray:
     """Run episodic Q-learning on an explicit MDP.
 
@@ -97,6 +98,13 @@ def train_on_mdp(
     non-terminal states) and terminate on absorbing states or after
     ``max_steps``.  Returns the per-episode summed TD error, a cheap
     convergence signal for tests.
+
+    When a :class:`~repro.telemetry.Telemetry` handle is passed, the
+    update loop is wall-clock attributed (``time/rl/train``) and the
+    sampled-backup counters (``rl/updates``, ``rl/episodes``) plus the
+    per-episode TD-error gauge (``rl/td_error``) accumulate in its
+    registry — the convergence-count X view of Theorem 3, measured
+    instead of derived.  Telemetry never touches the agent's RNG.
     """
     if episodes < 1:
         raise ValueError("episodes must be >= 1")
@@ -108,16 +116,25 @@ def train_on_mdp(
     candidates = np.flatnonzero(~terminal)
     if start_states is not None:
         candidates = np.asarray(start_states)
+    steps_before = agent.steps
     errors = np.zeros(episodes)
-    for ep in range(episodes):
-        s = int(agent.rng.choice(candidates))
-        total = 0.0
-        for _ in range(max_steps):
-            a = agent.select_action(s)
-            s_next, r = mdp.sample_step(s, a, agent.rng)
-            total += agent.update(s, a, r, s_next)
-            s = s_next
-            if terminal[s]:
-                break
-        errors[ep] = total
+    if telemetry is None:
+        from ..telemetry import NULL as telemetry  # noqa: N811 - singleton
+    with telemetry.span("rl/train"):
+        for ep in range(episodes):
+            s = int(agent.rng.choice(candidates))
+            total = 0.0
+            for _ in range(max_steps):
+                a = agent.select_action(s)
+                s_next, r = mdp.sample_step(s, a, agent.rng)
+                total += agent.update(s, a, r, s_next)
+                s = s_next
+                if terminal[s]:
+                    break
+            errors[ep] = total
+    if telemetry.enabled:
+        reg = telemetry.registry
+        reg.counter("rl/episodes").add(episodes)
+        reg.counter("rl/updates").add(agent.steps - steps_before)
+        reg.gauge("rl/td_error").observe_many(errors)
     return errors

@@ -58,6 +58,8 @@ if TYPE_CHECKING:  # avoid a runtime cycle with baselines.base
 from ..network.node import BaseStation, NodeArray
 from ..network.packet import PacketArena, PacketStats, PacketStatus
 from ..network.queueing import QueueBank, SourceBuffers
+from ..network.queueing import utilization as _utilization
+from ..telemetry import NULL, Telemetry, run_manifest
 from .metrics import RoundStats, SimulationResult
 from .state import NetworkState
 from .trace import TraceRecorder
@@ -68,6 +70,10 @@ __all__ = ["SimulationEngine", "run_simulation"]
 #: One slot's serviced packets: (queue position per packet, arena index
 #: per packet, service completion slot).
 _FusedBatch = tuple[np.ndarray, np.ndarray, int]
+
+#: Telemetry bucket edges for the per-round queue-peak histogram
+#: (upper bounds; Table 2's default CH capacity is 16).
+_QUEUE_PEAK_EDGES = (0, 1, 2, 4, 8, 16, 32, 64)
 
 
 class SimulationEngine:
@@ -92,6 +98,16 @@ class SimulationEngine:
         per-sender ``choose_relay`` loop — the reference path the
         micro-benchmarks time the kernel against; both paths produce
         bit-identical results.
+    telemetry:
+        An optional :class:`~repro.telemetry.Telemetry` handle.  When
+        given, every stage of the slot pipeline is wall-clock
+        attributed (``time/phase/*``) and pipeline counters (packets,
+        energy, channel, queues) accumulate in its registry; the final
+        :class:`SimulationResult` carries a snapshot in
+        ``extras["telemetry"]``.  When absent the engine holds the
+        no-op :data:`~repro.telemetry.NULL` singleton, which never
+        touches an RNG stream — telemetry on or off, runs are
+        bit-identical.
     """
 
     def __init__(
@@ -105,9 +121,11 @@ class SimulationEngine:
         stop_on_death: bool = False,
         trace: TraceRecorder | None = None,
         batched: bool = True,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
         self.protocol = protocol
+        self.telemetry = telemetry if telemetry is not None else NULL
         self.state = NetworkState(
             config, nodes=nodes, bs=bs, rng=rng, initial_energy=initial_energy
         )
@@ -139,6 +157,16 @@ class SimulationEngine:
                 config.harvesting, self.state.harvest_rng
             )
         protocol.prepare(self.state)
+        #: Self-describing header shared by the trace dump and the
+        #: telemetry snapshot (built lazily only when someone records).
+        self.manifest: dict | None = None
+        if self.trace is not None or self.telemetry.enabled:
+            self.manifest = run_manifest(config, protocol.name)
+        if self.trace is not None and self.trace.manifest is None:
+            self.trace.manifest = self.manifest
+        if self.telemetry.enabled:
+            self.state.channel.bind_telemetry(self.telemetry)
+            self._tel_energy_mark = self.state.ledger.category_breakdown()
 
     # ------------------------------------------------------------------
     # slot phases
@@ -190,6 +218,7 @@ class SimulationEngine:
     ) -> None:
         st = self.state
         arena = self.arena
+        tel = self.telemetry
         bits = self.config.traffic.packet_bits
         # Canonical order: ascending sender index.  Within-slot
         # contention (queue capacity, BS budget) resolves in this order
@@ -205,9 +234,11 @@ class SimulationEngine:
             targets = self._choose_targets(heads, senders, qlens)
         else:
             targets = np.full(senders.size, st.bs_index, dtype=np.int64)
+        tel.lap("relay_choice")
         rows = self.buffers.peek(senders)
         d = st.distances_many(senders, targets)
         st.ledger.discharge_many(senders, st.radio.tx(bits, d), "tx")
+        tel.lap("discharge")
         # Liveness snapshot after the tx charges: a target killed by
         # this slot's receptions still ACKs this slot's arrivals.
         to_bs = targets == st.bs_index
@@ -215,12 +246,14 @@ class SimulationEngine:
         target_alive[~to_bs] = st.ledger.alive[targets[~to_bs]]
         draws = st.channel.attempt_batch(d)
         arrived = draws & target_alive
+        tel.lap("channel")
         # Every arrival at a non-BS target costs that target rx energy
         # (heads pay even for packets their full queue then rejects —
         # the radio listened either way).
         rx_targets = targets[arrived & ~to_bs]
         if rx_targets.size:
             st.ledger.discharge_many(rx_targets, st.radio.rx(bits), "rx")
+        tel.lap("discharge")
 
         pos = bank.position(targets)
         acks = np.zeros(senders.size, dtype=bool)
@@ -314,9 +347,11 @@ class SimulationEngine:
             self.buffers.push_batch(f_targets[order], rows[forwarded][order])
         if free_rows:
             arena.free(np.concatenate(free_rows))
+        tel.lap("queue_offer")
 
         st.link_estimator.update_batch(senders, targets, acks)
         self.protocol.on_transmissions(st, senders, targets, acks)
+        tel.lap("estimator")
 
     def _service(
         self,
@@ -585,6 +620,9 @@ class SimulationEngine:
     def run_round(self) -> RoundStats:
         st = self.state
         cfg = self.config
+        tel = self.telemetry
+        t_round = tel.now()
+        tel.lap_start()
         # Inter-round environment dynamics (extensions; both no-ops in
         # the paper's static, battery-only evaluation).
         if self.mobility is not None and st.round_index > 0:
@@ -597,6 +635,7 @@ class SimulationEngine:
             )
         energy_before = st.ledger.total_spent
         v_before = getattr(self.protocol, "v_update_count", 0)
+        tel.lap("setup")
 
         heads = self.protocol.validate_heads(
             st, self.protocol.select_cluster_heads(st)
@@ -608,15 +647,19 @@ class SimulationEngine:
         bank = QueueBank(heads, cfg.queue.capacity, st.n)
         fused: list[_FusedBatch] = []
         stats = PacketStats()
+        tel.lap("ch_select")
 
         slots = cfg.traffic.slots_per_round
         base_slot = st.round_index * slots
         for slot in range(slots):
             abs_slot = base_slot + slot
             self._generate(abs_slot, is_head, stats)
+            tel.lap("generate")
             self._transmit(abs_slot, heads, is_head, bank, stats)
             self._service(abs_slot, bank, fused, stats)
+            tel.lap("service")
         self._uplink(heads, fused, bank, base_slot + slots, stats)
+        tel.lap("uplink")
         self.protocol.on_round_end(st, heads)
 
         if self._first_death_round is None and st.ledger.any_dead:
@@ -636,8 +679,44 @@ class SimulationEngine:
         self._totals.merge(stats)
         if self.trace is not None:
             self.trace.record(round_stats, heads, st.ledger.residual)
+        tel.lap("round_end")
+        if tel.enabled:
+            self._record_round_telemetry(round_stats, peaks, tel.now() - t_round)
         st.round_index += 1
         return round_stats
+
+    def _record_round_telemetry(
+        self, rs: RoundStats, peaks: np.ndarray, round_wall: float
+    ) -> None:
+        """Round-end counter rollup (telemetry enabled only).
+
+        Deterministic pipeline counters (packets by outcome, energy by
+        radio category, head counts, queue occupancy) plus the round's
+        wall time; phase wall-clock attribution happened inline via the
+        lap markers.  Reads only already-computed aggregates — never an
+        RNG stream.
+        """
+        reg = self.telemetry.registry
+        reg.counter("rounds").add(1)
+        p = rs.packets
+        reg.counter("packets/generated").add(p.generated)
+        reg.counter("packets/delivered").add(p.delivered)
+        reg.counter("packets/dropped_channel").add(p.dropped_channel)
+        reg.counter("packets/dropped_queue").add(p.dropped_queue)
+        reg.counter("packets/dropped_dead").add(p.dropped_dead)
+        reg.counter("packets/expired").add(p.expired)
+        mark = self.state.ledger.category_breakdown()
+        for cat, total in mark.items():
+            reg.counter(f"energy/{cat}_j").add(total - self._tel_energy_mark[cat])
+        self._tel_energy_mark = mark
+        reg.gauge("heads/count").observe(rs.n_heads)
+        reg.counter("rl/v_updates").add(rs.v_updates)
+        if peaks.size:
+            reg.histogram("queue/peak", _QUEUE_PEAK_EDGES).observe_many(peaks)
+            reg.gauge("queue/utilization").observe_many(
+                _utilization(peaks, self.config.queue.capacity)
+            )
+        reg.gauge("time/round").observe(round_wall)
 
     def run(self) -> SimulationResult:
         """Execute the full scenario and return the aggregated result."""
@@ -652,6 +731,8 @@ class SimulationEngine:
                 break
             rows = self.buffers.pop(pending)
             self._totals.expired += rows.size
+            if self.telemetry.enabled:
+                self.telemetry.counter("packets/expired").add(rows.size)
             self.arena.mark(rows, PacketStatus.EXPIRED)
             self.arena.free(rows)
         result = SimulationResult(
@@ -670,6 +751,11 @@ class SimulationEngine:
             mean_interarrival=self.config.traffic.mean_interarrival,
             v_update_total=getattr(self.protocol, "v_update_count", 0),
         )
+        if self.telemetry.enabled:
+            result.extras["telemetry"] = {
+                "manifest": self.manifest,
+                "metrics": self.telemetry.snapshot(),
+            }
         result.validate()
         return result
 

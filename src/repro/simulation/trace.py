@@ -6,15 +6,23 @@ structured record per round (heads, per-cause packet counts, energy,
 liveness) and can replay them as dicts or dump them as JSON lines.
 Disabled by default — tracing is opt-in and costs one small dict per
 round.
+
+Trace dumps are *self-describing*: the first JSONL line is a run
+manifest (``kind: "manifest"`` — protocol, seed, config fingerprint,
+package version; see :mod:`repro.telemetry.manifest`) so a trace file
+found on disk months later still identifies the exact scenario that
+produced it.  :meth:`TraceRecorder.parse_jsonl` accepts dumps with or
+without the header, so pre-manifest traces keep loading.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 import numpy as np
 
+from ..telemetry.manifest import MANIFEST_KIND
 from .metrics import RoundStats
 
 __all__ = ["RoundTrace", "TraceRecorder"]
@@ -45,9 +53,16 @@ class RoundTrace:
 @dataclass
 class TraceRecorder:
     """Collects :class:`RoundTrace` rows; attach via
-    ``SimulationEngine(..., trace=recorder)``."""
+    ``SimulationEngine(..., trace=recorder)``.
+
+    ``manifest`` is the self-describing header emitted before the round
+    records in JSONL dumps.  The engine fills it in automatically when
+    it is still None at construction time; set it explicitly (or to a
+    custom dict) to override.
+    """
 
     records: list[RoundTrace] = field(default_factory=list)
+    manifest: dict | None = None
 
     def record(self, stats: RoundStats, heads: np.ndarray, residual: np.ndarray) -> None:
         p = stats.packets
@@ -85,9 +100,50 @@ class TraceRecorder:
         return counts
 
     def to_jsonl(self) -> str:
-        """One JSON object per line, ready for jq/pandas."""
-        return "\n".join(json.dumps(rec.as_dict()) for rec in self.records)
+        """One JSON object per line, ready for jq/pandas.
+
+        The manifest header (when present) is the first line; round
+        records follow in round order.
+        """
+        lines = []
+        if self.manifest is not None:
+            lines.append(json.dumps(self.manifest, sort_keys=True))
+        lines.extend(json.dumps(rec.as_dict()) for rec in self.records)
+        return "\n".join(lines)
 
     def write_jsonl(self, path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_jsonl() + "\n")
+
+    @classmethod
+    def parse_jsonl(cls, text: str) -> "TraceRecorder":
+        """Rebuild a recorder from a JSONL dump.
+
+        Accepts dumps with or without the manifest header line; unknown
+        keys in round records are ignored so newer dumps load under
+        older record definitions (and vice versa).
+        """
+        recorder = cls()
+        known = {f.name for f in fields(RoundTrace)}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("kind") == MANIFEST_KIND:
+                if recorder.manifest is not None or recorder.records:
+                    raise ValueError(
+                        "manifest line must be first and appear at most once"
+                    )
+                recorder.manifest = obj
+                continue
+            row = {k: v for k, v in obj.items() if k in known}
+            row["heads"] = tuple(row.get("heads", ()))
+            recorder.records.append(RoundTrace(**row))
+        return recorder
+
+    @classmethod
+    def load_jsonl(cls, path) -> "TraceRecorder":
+        """Read a dump written by :meth:`write_jsonl`."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.parse_jsonl(fh.read())

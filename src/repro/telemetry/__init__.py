@@ -1,0 +1,56 @@
+"""Telemetry: phase timers, mergeable counters, self-describing runs.
+
+The instrumentation layer behind the sweep-sharding and compiled-
+backend roadmap items: before fanning cells across processes or
+swapping kernels, we need to know where time, energy, and packets go —
+per phase of the slot pipeline and per worker of the pool.
+
+Three pieces:
+
+* :mod:`~repro.telemetry.registry` — counters, gauges (commutative
+  summaries), and fixed-bucket histograms, collected in a picklable,
+  order-insensitively mergeable :class:`MetricRegistry`;
+* :mod:`~repro.telemetry.timers` — :class:`Telemetry` (a registry plus
+  a lap clock for phase attribution) and the :data:`NULL` disabled
+  singleton whose hooks are no-ops, keeping the instrumented engine
+  single-path and essentially free when telemetry is off;
+* :mod:`~repro.telemetry.manifest` — config fingerprints and the
+  run-manifest header that makes trace files self-describing.
+
+See ``docs/observability.md`` for the metric-name taxonomy and the
+trace JSONL schema.
+"""
+
+from .manifest import (
+    MANIFEST_KIND,
+    MANIFEST_SCHEMA,
+    config_fingerprint,
+    run_manifest,
+)
+from .registry import (
+    TIME_PREFIX,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    deterministic_view,
+    merge_snapshots,
+)
+from .timers import NULL, NullTelemetry, Telemetry
+
+__all__ = [
+    "MANIFEST_KIND",
+    "MANIFEST_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL",
+    "NullTelemetry",
+    "TIME_PREFIX",
+    "Telemetry",
+    "config_fingerprint",
+    "deterministic_view",
+    "merge_snapshots",
+    "run_manifest",
+]

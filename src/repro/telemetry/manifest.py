@@ -1,0 +1,68 @@
+"""Self-describing run artifacts: config fingerprints and manifests.
+
+A trace file or telemetry snapshot divorced from the scenario that
+produced it is unreproducible; the manifest captures what a reader
+needs to rerun the exact cell: protocol, seed, a stable fingerprint of
+the full :class:`~repro.config.SimulationConfig`, and the package
+version.  The manifest is the first line of every trace JSONL dump
+(``kind: "manifest"``) and rides along in
+``SimulationResult.extras["telemetry"]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..config import SimulationConfig
+
+__all__ = ["MANIFEST_KIND", "MANIFEST_SCHEMA", "config_fingerprint", "run_manifest"]
+
+#: Discriminator value of the manifest header line in trace JSONL.
+MANIFEST_KIND = "manifest"
+
+#: Bump when manifest keys change incompatibly.
+MANIFEST_SCHEMA = 1
+
+
+def config_fingerprint(config: "SimulationConfig") -> str:
+    """Stable 16-hex-digit digest of the complete scenario.
+
+    Two configs fingerprint equal iff every tunable (nested sub-configs
+    included) is equal — the seed included, since the seed is part of
+    the scenario identity for reproduction purposes.
+    """
+    payload = dataclasses.asdict(config)
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def run_manifest(
+    config: "SimulationConfig",
+    protocol: str,
+    extra: dict | None = None,
+) -> dict:
+    """Build the self-describing header for one simulation run."""
+    from .. import __version__  # deferred: repro/__init__ imports the engine
+
+    manifest = {
+        "kind": MANIFEST_KIND,
+        "schema": MANIFEST_SCHEMA,
+        "package": "repro",
+        "version": __version__,
+        "protocol": protocol,
+        "seed": config.seed,
+        "config_fingerprint": config_fingerprint(config),
+        "n_nodes": config.deployment.n_nodes,
+        "rounds": config.rounds,
+        "mean_interarrival": config.traffic.mean_interarrival,
+    }
+    if extra:
+        overlap = set(extra) & set(manifest)
+        if overlap:
+            raise ValueError(f"extra keys shadow manifest keys: {sorted(overlap)}")
+        manifest.update(extra)
+    return manifest

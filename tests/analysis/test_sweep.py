@@ -76,3 +76,44 @@ class TestSweep:
         serial = sweep_protocols(serial=True, **kwargs)
         parallel = sweep_protocols(max_workers=2, **kwargs)
         assert serial.rows == parallel.rows
+
+
+class TestSweepTelemetry:
+    kwargs = dict(
+        protocols=("direct", "kmeans"), lambdas=(8.0,), seeds=(0, 1),
+        rounds=2, telemetry=True,
+    )
+
+    def test_cell_snapshot_attached(self):
+        row = run_cell("direct", 8.0, seed=0, rounds=2, telemetry=True)
+        snap = row["telemetry"]
+        assert snap["packets/generated"]["value"] == row["generated"]
+
+    def test_no_snapshot_by_default(self):
+        row = run_cell("direct", 8.0, seed=0, rounds=2)
+        assert "telemetry" not in row
+
+    def test_merged_snapshot_on_result(self):
+        sweep = sweep_protocols(serial=True, **self.kwargs)
+        assert sweep.telemetry is not None
+        assert all("telemetry" not in r for r in sweep.rows)
+        total = sum(r["generated"] for r in sweep.rows)
+        assert sweep.telemetry["packets/generated"]["value"] == total
+
+    def test_disabled_leaves_none(self):
+        sweep = sweep_protocols(
+            protocols=("direct",), lambdas=(8.0,), seeds=(0,), rounds=2,
+            serial=True,
+        )
+        assert sweep.telemetry is None
+
+    def test_pool_merge_equals_serial_merge(self):
+        """The acceptance check: a 2-worker pool sweep and a serial
+        sweep agree exactly on every deterministic merged metric."""
+        from repro.telemetry import deterministic_view
+
+        serial = sweep_protocols(serial=True, **self.kwargs)
+        pooled = sweep_protocols(max_workers=2, **self.kwargs)
+        assert deterministic_view(serial.telemetry) == deterministic_view(
+            pooled.telemetry
+        )

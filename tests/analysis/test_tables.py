@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.tables import render_kv, render_series, render_table
+from repro.analysis.tables import (
+    render_kv,
+    render_series,
+    render_table,
+    render_telemetry,
+)
 
 
 class TestRenderTable:
@@ -70,3 +75,52 @@ class TestRenderKV:
 
     def test_empty(self):
         assert render_kv({}) == ""
+
+
+class TestRenderTelemetry:
+    @pytest.fixture
+    def snapshot(self):
+        """A realistic engine snapshot, as produced by run_cell."""
+        return {
+            "time/phase/ch_select": {"kind": "counter", "value": 0.2},
+            "time/phase/channel": {"kind": "counter", "value": 0.1},
+            "time/phase/setup": {"kind": "counter", "value": 0.1},
+            "time/round": {
+                "kind": "gauge", "count": 5, "total": 0.41,
+                "min": 0.05, "max": 0.12,
+            },
+            "energy/tx_j": {"kind": "counter", "value": 1.5},
+            "energy/rx_j": {"kind": "counter", "value": 0.5},
+            "packets/generated": {"kind": "counter", "value": 100},
+            "packets/delivered": {"kind": "counter", "value": 90},
+            "channel/attempts": {"kind": "counter", "value": 120},
+            "channel/acks": {"kind": "counter", "value": 110},
+        }
+
+    def test_pipeline_order(self, snapshot):
+        out = render_telemetry(snapshot)
+        assert out.index("setup") < out.index("ch_select") < out.index("channel")
+
+    def test_shares_and_coverage(self, snapshot):
+        out = render_telemetry(snapshot)
+        assert "(sum)" in out
+        assert "phase coverage" in out
+        assert "5 rounds" in out
+
+    def test_energy_and_packet_blocks(self, snapshot):
+        out = render_telemetry(snapshot)
+        assert "energy by category" in out
+        assert "packets by outcome" in out
+        assert "generated" in out
+
+    def test_channel_summary(self, snapshot):
+        assert "110/120" in render_telemetry(snapshot)
+
+    def test_unknown_phase_appended(self, snapshot):
+        snapshot["time/phase/zz_custom"] = {"kind": "counter", "value": 0.01}
+        out = render_telemetry(snapshot)
+        assert "zz_custom" in out
+        assert out.index("channel") < out.index("zz_custom")
+
+    def test_empty_snapshot(self):
+        assert "(no telemetry)" in render_telemetry({})

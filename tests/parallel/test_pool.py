@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.parallel.pool import default_workers, run_tasks
+from repro.parallel.pool import default_workers, fold_results, run_tasks
 
 
 def square(x):
@@ -51,6 +51,38 @@ class TestRunTasks:
     def test_chunksize_validation(self):
         with pytest.raises(ValueError):
             run_tasks(square, [(1,), (2,)], max_workers=2, chunksize=0)
+
+
+class TestFoldResults:
+    def test_left_fold_in_order(self):
+        order = []
+
+        def merge(a, b):
+            order.append((a, b))
+            return a + b
+
+        assert fold_results([1, 2, 3], merge) == 6
+        assert order == [(1, 2), (3, 3)]
+
+    def test_empty_returns_none(self):
+        assert fold_results([], lambda a, b: a + b) is None
+
+    def test_single_result_passes_through(self):
+        sentinel = object()
+        assert fold_results([sentinel], lambda a, b: a) is sentinel
+
+    def test_folds_telemetry_snapshots(self):
+        """The intended use: per-worker metric snapshots fold into one
+        sweep-level view with the commutative snapshot merge."""
+        from repro.telemetry import MetricRegistry, merge_snapshots
+
+        snaps = []
+        for v in (1, 2, 3):
+            reg = MetricRegistry()
+            reg.counter("x").add(v)
+            snaps.append(reg.snapshot())
+        merged = fold_results(snaps, merge_snapshots)
+        assert merged["x"]["value"] == 6
 
 
 class TestDefaultWorkers:

@@ -109,3 +109,36 @@ class TestQLearningAgent:
         agent = QLearningAgent(mdp.n_states, mdp.n_actions, gamma=0.9)
         with pytest.raises(ValueError):
             train_on_mdp(agent, mdp, episodes=0)
+
+    def test_telemetry_instruments_training(self):
+        from repro.telemetry import Telemetry
+
+        mdp = make_gridline_mdp(n=4)
+        agent = QLearningAgent(
+            mdp.n_states, mdp.n_actions, gamma=0.9, learning_rate=0.2,
+            rng=np.random.default_rng(1),
+        )
+        tel = Telemetry()
+        train_on_mdp(agent, mdp, episodes=50, max_steps=20, telemetry=tel)
+        snap = tel.snapshot()
+        assert snap["rl/episodes"]["value"] == 50
+        assert snap["rl/updates"]["value"] == agent.steps
+        assert snap["rl/td_error"]["count"] == 50
+        assert snap["time/rl/train"]["value"] > 0.0
+
+    def test_telemetry_does_not_change_training(self):
+        from repro.telemetry import Telemetry
+
+        mdp = make_gridline_mdp(n=4)
+        runs = []
+        for tel in (None, Telemetry()):
+            agent = QLearningAgent(
+                mdp.n_states, mdp.n_actions, gamma=0.9, learning_rate=0.2,
+                rng=np.random.default_rng(9),
+            )
+            errors = train_on_mdp(
+                agent, mdp, episodes=100, max_steps=20, telemetry=tel
+            )
+            runs.append((errors, agent.q.values.copy()))
+        np.testing.assert_array_equal(runs[0][0], runs[1][0])
+        np.testing.assert_array_equal(runs[0][1], runs[1][1])

@@ -49,8 +49,8 @@ class TestTraceRecorder:
     def test_jsonl_round_trips(self):
         trace, _ = run_traced(rounds=2)
         lines = trace.to_jsonl().splitlines()
-        assert len(lines) == 2
-        parsed = json.loads(lines[0])
+        assert len(lines) == 3  # manifest header + one line per round
+        parsed = json.loads(lines[1])
         assert parsed["round_index"] == 0
         assert isinstance(parsed["heads"], list)
 
@@ -58,12 +58,62 @@ class TestTraceRecorder:
         trace, _ = run_traced(rounds=2)
         path = tmp_path / "trace.jsonl"
         trace.write_jsonl(path)
-        assert len(path.read_text().strip().splitlines()) == 2
+        assert len(path.read_text().strip().splitlines()) == 3
 
     def test_untraced_engine_has_no_overhead_hook(self):
         engine = SimulationEngine(make_config(seed=2), QLECProtocol())
         assert engine.trace is None
         engine.run()
+
+
+class TestManifestHeader:
+    def test_engine_fills_manifest(self):
+        trace, _ = run_traced(seed=3)
+        assert trace.manifest is not None
+        assert trace.manifest["kind"] == "manifest"
+        assert trace.manifest["protocol"] == "qlec"
+        assert trace.manifest["seed"] == 3
+
+    def test_manifest_is_first_jsonl_line(self):
+        trace, _ = run_traced(rounds=2)
+        first = json.loads(trace.to_jsonl().splitlines()[0])
+        assert first["kind"] == "manifest"
+        assert first["package"] == "repro"
+
+    def test_explicit_manifest_not_overwritten(self):
+        trace = TraceRecorder(manifest={"kind": "manifest", "custom": True})
+        SimulationEngine(make_config(seed=1), QLECProtocol(), trace=trace).run()
+        assert trace.manifest["custom"] is True
+
+    def test_parse_round_trips_with_header(self):
+        trace, _ = run_traced(rounds=3)
+        clone = TraceRecorder.parse_jsonl(trace.to_jsonl())
+        assert clone.manifest == trace.manifest
+        assert clone.records == trace.records
+
+    def test_parse_accepts_headerless_dump(self):
+        trace, _ = run_traced(rounds=2)
+        body = "\n".join(trace.to_jsonl().splitlines()[1:])
+        clone = TraceRecorder.parse_jsonl(body)
+        assert clone.manifest is None
+        assert clone.records == trace.records
+
+    def test_parse_rejects_misplaced_manifest(self):
+        import pytest
+
+        trace, _ = run_traced(rounds=2)
+        lines = trace.to_jsonl().splitlines()
+        shuffled = "\n".join([lines[1], lines[0], lines[2]])
+        with pytest.raises(ValueError):
+            TraceRecorder.parse_jsonl(shuffled)
+
+    def test_load_jsonl(self, tmp_path):
+        trace, _ = run_traced(rounds=2)
+        path = tmp_path / "trace.jsonl"
+        trace.write_jsonl(path)
+        clone = TraceRecorder.load_jsonl(path)
+        assert clone.manifest == trace.manifest
+        assert clone.records == trace.records
 
 
 class TestAggregationModes:

@@ -1,0 +1,55 @@
+"""Tests for config fingerprints and run manifests."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.telemetry import (
+    MANIFEST_KIND,
+    MANIFEST_SCHEMA,
+    config_fingerprint,
+    run_manifest,
+)
+from tests.conftest import make_config
+
+
+class TestConfigFingerprint:
+    def test_stable_across_calls(self):
+        assert config_fingerprint(make_config()) == config_fingerprint(make_config())
+
+    def test_sensitive_to_any_tunable(self):
+        base = config_fingerprint(make_config())
+        assert config_fingerprint(make_config(seed=1)) != base
+        assert config_fingerprint(make_config(n_nodes=31)) != base
+        assert config_fingerprint(make_config(mean_interarrival=8.0)) != base
+
+    def test_format(self):
+        fp = config_fingerprint(make_config())
+        assert len(fp) == 16
+        int(fp, 16)  # hex digits only
+
+
+class TestRunManifest:
+    def test_required_fields(self):
+        m = run_manifest(make_config(seed=3), "qlec")
+        assert m["kind"] == MANIFEST_KIND
+        assert m["schema"] == MANIFEST_SCHEMA
+        assert m["package"] == "repro"
+        assert m["version"] == __version__
+        assert m["protocol"] == "qlec"
+        assert m["seed"] == 3
+        assert m["n_nodes"] == 30
+        assert m["rounds"] == 5
+
+    def test_json_serialisable(self):
+        m = run_manifest(make_config(), "qlec")
+        assert json.loads(json.dumps(m)) == m
+
+    def test_extra_keys_merge(self):
+        m = run_manifest(make_config(), "qlec", extra={"note": "test"})
+        assert m["note"] == "test"
+
+    def test_extra_cannot_shadow(self):
+        with pytest.raises(ValueError):
+            run_manifest(make_config(), "qlec", extra={"seed": 99})

@@ -1,0 +1,232 @@
+"""Tests for the mergeable metric primitives.
+
+The contract under test is the one the process-pool fan-in relies on:
+merge is order-insensitive (``merge(a, b) == merge(b, a)``), merging an
+empty metric is the identity, and everything pickles.
+"""
+
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    deterministic_view,
+    merge_snapshots,
+)
+
+
+def make_registry_a():
+    reg = MetricRegistry()
+    reg.counter("packets/generated").add(10)
+    reg.counter("time/phase/channel").add(0.25)
+    g = reg.gauge("queue/utilization")
+    g.observe(0.5)
+    g.observe(0.75)
+    reg.histogram("queue/peak", (0, 1, 2, 4)).observe_many([0, 1, 3, 9])
+    return reg
+
+
+def make_registry_b():
+    reg = MetricRegistry()
+    reg.counter("packets/generated").add(7)
+    reg.counter("packets/delivered").add(5)
+    g = reg.gauge("queue/utilization")
+    g.observe(0.25)
+    reg.histogram("queue/peak", (0, 1, 2, 4)).observe_many([2, 2])
+    return reg
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        c = Counter()
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_merge_commutes(self):
+        a, b = Counter(3), Counter(4)
+        ab, ba = a.copy(), b.copy()
+        ab.merge(b)
+        ba.merge(a)
+        assert ab == ba == Counter(7)
+
+    def test_empty_merge_identity(self):
+        c = Counter(3)
+        c.merge(Counter())
+        assert c == Counter(3)
+
+    def test_snapshot_round_trip(self):
+        c = Counter(9)
+        assert Counter.from_snapshot(c.snapshot()) == c
+
+
+class TestGauge:
+    def test_summary_stats(self):
+        g = Gauge()
+        g.observe_many([1.0, 2.0, 3.0])
+        assert (g.count, g.total, g.min, g.max) == (3, 6.0, 1.0, 3.0)
+        assert g.mean == 2.0
+
+    def test_merge_commutes(self):
+        a, b = Gauge(), Gauge()
+        a.observe_many([1.0, 5.0])
+        b.observe(3.0)
+        ab, ba = a.copy(), b.copy()
+        ab.merge(b)
+        ba.merge(a)
+        assert ab == ba
+        assert ab.min == 1.0 and ab.max == 5.0 and ab.count == 3
+
+    def test_empty_merge_identity(self):
+        a = Gauge()
+        a.observe(2.0)
+        before = a.copy()
+        a.merge(Gauge())
+        assert a == before
+
+    def test_empty_gauge_snapshot_round_trips(self):
+        g = Gauge()
+        assert Gauge.from_snapshot(g.snapshot()) == g
+
+    def test_snapshot_round_trip(self):
+        g = Gauge()
+        g.observe_many([4.0, -1.0])
+        assert Gauge.from_snapshot(g.snapshot()) == g
+
+
+class TestHistogram:
+    def test_bucket_boundaries(self):
+        """Bucket i counts edges[i-1] < v <= edges[i]; overflow last."""
+        h = Histogram((0, 1, 2, 4))
+        h.observe_many([0, 1, 2, 3, 4, 5])
+        assert h.buckets == [1, 1, 1, 2, 1]
+        assert h.count == 6
+        assert h.total == 15.0
+
+    def test_bucket_sum_equals_count(self):
+        h = Histogram((1, 2, 4, 8))
+        h.observe_many(range(20))
+        assert sum(h.buckets) == h.count == 20
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_merge_commutes(self):
+        a, b = Histogram((0, 2, 4)), Histogram((0, 2, 4))
+        a.observe_many([1, 3, 5])
+        b.observe_many([0, 2])
+        ab, ba = a.copy(), b.copy()
+        ab.merge(b)
+        ba.merge(a)
+        assert ab == ba
+        assert ab.buckets == [1, 2, 1, 1]
+
+    def test_merge_rejects_different_edges(self):
+        a, b = Histogram((0, 1)), Histogram((0, 2))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_empty_merge_identity(self):
+        a = Histogram((0, 1))
+        a.observe(0.5)
+        before = a.copy()
+        a.merge(Histogram((0, 1)))
+        assert a == before
+
+    def test_snapshot_round_trip(self):
+        h = Histogram((0, 1, 2))
+        h.observe_many([0.5, 1.5, 7.0])
+        assert Histogram.from_snapshot(h.snapshot()) == h
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_histogram_edge_mismatch_rejected(self):
+        reg = MetricRegistry()
+        reg.histogram("h", (0, 1))
+        with pytest.raises(ValueError):
+            reg.histogram("h", (0, 2))
+
+    def test_merge_commutes(self):
+        ab = make_registry_a().merge(make_registry_b())
+        ba = make_registry_b().merge(make_registry_a())
+        assert ab == ba
+        assert ab.get("packets/generated").value == 17
+
+    def test_merge_is_union(self):
+        merged = make_registry_a().merge(make_registry_b())
+        assert "packets/delivered" in merged
+        assert "time/phase/channel" in merged
+
+    def test_empty_merge_identity(self):
+        a = make_registry_a()
+        assert a.merge(MetricRegistry()) == make_registry_a()
+        assert MetricRegistry().merge(make_registry_a()) == make_registry_a()
+
+    def test_merge_does_not_alias_other(self):
+        """Merging an absent name copies the metric, never shares it."""
+        a, b = MetricRegistry(), MetricRegistry()
+        b.counter("x").add(1)
+        a.merge(b)
+        b.counter("x").add(10)
+        assert a.get("x").value == 1
+
+    def test_pickle_round_trip(self):
+        reg = make_registry_a()
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone == reg
+
+    def test_snapshot_round_trip(self):
+        reg = make_registry_a()
+        assert MetricRegistry.from_snapshot(reg.snapshot()) == reg
+
+    def test_snapshot_keys_sorted(self):
+        snap = make_registry_a().snapshot()
+        assert list(snap) == sorted(snap)
+
+
+class TestSnapshotHelpers:
+    def test_merge_snapshots_commutes(self):
+        a = make_registry_a().snapshot()
+        b = make_registry_b().snapshot()
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    def test_merge_snapshots_empty_identity(self):
+        a = make_registry_a().snapshot()
+        assert merge_snapshots(a, {}) == a
+        assert merge_snapshots() == {}
+
+    def test_merge_snapshots_associative(self):
+        a = make_registry_a().snapshot()
+        b = make_registry_b().snapshot()
+        c = MetricRegistry()
+        c.counter("packets/generated").add(100)
+        c = c.snapshot()
+        assert merge_snapshots(merge_snapshots(a, b), c) == merge_snapshots(
+            a, merge_snapshots(b, c)
+        )
+
+    def test_deterministic_view_strips_time(self):
+        view = deterministic_view(make_registry_a().snapshot())
+        assert "time/phase/channel" not in view
+        assert "packets/generated" in view
