@@ -21,7 +21,11 @@ from dataclasses import fields
 from pathlib import Path
 
 from repro.simulation.trace import RoundTrace
-from repro.telemetry.manifest import MANIFEST_KIND, MANIFEST_SCHEMA
+from repro.telemetry.manifest import (
+    MANIFEST_KIND,
+    MANIFEST_SCHEMA,
+    SHARD_MANIFEST_KIND,
+)
 
 #: Key -> required type(s) of every field run_manifest() always emits.
 MANIFEST_KEYS = {
@@ -35,6 +39,29 @@ MANIFEST_KEYS = {
     "n_nodes": int,
     "rounds": int,
     "mean_interarrival": (int, float),
+}
+
+#: Key -> required type(s) of every field shard_manifest() always emits.
+SHARD_MANIFEST_KEYS = {
+    "kind": str,
+    "schema": int,
+    "package": str,
+    "version": str,
+    "shard": int,
+    "num_shards": int,
+    "spec": dict,
+    "spec_fingerprint": str,
+}
+
+#: Required keys of the per-cell records in a shard artifact.
+CELL_KEYS = {
+    "kind": str,
+    "cell_id": str,
+    "protocol": str,
+    "lambda": (int, float),
+    "seed": int,
+    "config_fingerprint": str,
+    "attempts": int,
 }
 
 FENCE = re.compile(r"^```jsonl\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
@@ -57,6 +84,41 @@ def check_manifest(obj: dict, where: str) -> list[str]:
     fp = obj.get("config_fingerprint", "")
     if not re.fullmatch(r"[0-9a-f]{16}", fp):
         errors.append(f"{where}: config_fingerprint {fp!r} is not 16 hex digits")
+    return errors
+
+
+def _check_keys(obj: dict, schema: dict, what: str, where: str) -> list[str]:
+    errors = []
+    for key, typ in schema.items():
+        if key not in obj:
+            errors.append(f"{where}: {what} missing key {key!r}")
+        elif not isinstance(obj[key], typ):
+            errors.append(
+                f"{where}: {what} key {key!r} has type "
+                f"{type(obj[key]).__name__}, expected {typ}"
+            )
+    return errors
+
+
+def check_shard_manifest(obj: dict, where: str) -> list[str]:
+    errors = _check_keys(obj, SHARD_MANIFEST_KEYS, "shard manifest", where)
+    fp = obj.get("spec_fingerprint", "")
+    if not re.fullmatch(r"[0-9a-f]{16}", fp):
+        errors.append(f"{where}: spec_fingerprint {fp!r} is not 16 hex digits")
+    return errors
+
+
+def check_cell_record(obj: dict, where: str) -> list[str]:
+    errors = _check_keys(obj, CELL_KEYS, "cell record", where)
+    cid = obj.get("cell_id", "")
+    if not re.fullmatch(r"[0-9a-f]{16}", cid):
+        errors.append(f"{where}: cell_id {cid!r} is not 16 hex digits")
+    if obj.get("kind") == "cell" and not isinstance(obj.get("summary"), dict):
+        errors.append(f"{where}: cell record needs a dict 'summary'")
+    if obj.get("kind") == "cell-error" and not isinstance(
+        obj.get("error"), dict
+    ):
+        errors.append(f"{where}: cell-error record needs a dict 'error'")
     return errors
 
 
@@ -85,10 +147,22 @@ def check_file(path: Path) -> list[str]:
             except json.JSONDecodeError as exc:
                 errors.append(f"{where}: invalid JSON ({exc})")
                 continue
-            if obj.get("kind") == MANIFEST_KIND:
+            kind = obj.get("kind")
+            if kind == MANIFEST_KIND:
                 if li != 0:
                     errors.append(f"{where}: manifest must be the first line")
                 errors.extend(check_manifest(obj, where))
+            elif kind == SHARD_MANIFEST_KIND:
+                if li != 0:
+                    errors.append(f"{where}: manifest must be the first line")
+                errors.extend(check_shard_manifest(obj, where))
+            elif kind in ("cell", "cell-error"):
+                errors.extend(check_cell_record(obj, where))
+            elif kind == "shard-telemetry":
+                if not isinstance(obj.get("snapshot"), dict):
+                    errors.append(
+                        f"{where}: shard-telemetry needs a dict 'snapshot'"
+                    )
             else:
                 errors.extend(check_round_record(obj, where))
     return errors

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI gate: a 3-shard mini-sweep must merge back to the serial result.
+
+Runs one small (protocol × λ × seed) grid three ways — serially, as
+3 shards, and as N singleton shards — merges the artifacts in a
+shuffled order, and diffs rows and deterministic telemetry against the
+serial sweep.  Then resumes every shard and asserts nothing is
+recomputed and no artifact byte changes.  Any drift fails the build:
+shard determinism is a contract, not a best effort.
+
+Usage: PYTHONPATH=src python scripts/check_shard_determinism.py [workdir]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis.sweep import sweep_from_spec
+from repro.parallel.sharding import SweepSpec, merge_artifacts, run_shard
+from repro.telemetry import deterministic_view
+
+SPEC = SweepSpec(
+    protocols=("direct", "kmeans"),
+    lambdas=(4.0, 8.0),
+    seeds=(0, 1),
+    rounds=2,
+    telemetry=True,
+)
+
+
+def fail(msg: str) -> int:
+    print(f"FAIL {msg}", file=sys.stderr)
+    return 1
+
+
+def run_shards(root: Path, num_shards: int) -> list:
+    return [
+        run_shard(
+            SPEC, k, num_shards,
+            root / f"shard-{k}of{num_shards}.jsonl",
+            max_workers=2,
+        )
+        for k in range(1, num_shards + 1)
+    ]
+
+
+def main(argv: list[str]) -> int:
+    workdir = Path(argv[0]) if argv else Path(tempfile.mkdtemp(prefix="shards-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    serial = sweep_from_spec(SPEC, serial=True)
+    rng = random.Random(7)
+
+    for num_shards in (1, 3, len(SPEC)):
+        root = workdir / f"k{num_shards}"
+        root.mkdir(exist_ok=True)
+        results = run_shards(root, num_shards)
+        errors = [e for r in results for e in r.errors]
+        if errors:
+            return fail(f"K={num_shards}: error rows {errors}")
+
+        paths = [r.path for r in results]
+        rng.shuffle(paths)
+        merged = merge_artifacts(paths)
+        if not merged.complete:
+            return fail(
+                f"K={num_shards}: merge incomplete "
+                f"(missing {merged.missing}, errors {merged.errors})"
+            )
+        if merged.sweep.rows != serial.rows:
+            return fail(f"K={num_shards}: merged rows differ from serial run")
+        if deterministic_view(merged.sweep.telemetry) != deterministic_view(
+            serial.telemetry
+        ):
+            return fail(
+                f"K={num_shards}: merged telemetry differs from serial run"
+            )
+
+        before = [p.read_bytes() for p in sorted(paths)]
+        resumed = run_shards(root, num_shards)
+        recomputed = [cid for r in resumed for cid in r.executed]
+        if recomputed:
+            return fail(f"K={num_shards}: resume recomputed {recomputed}")
+        after = [p.read_bytes() for p in sorted(paths)]
+        if before != after:
+            return fail(f"K={num_shards}: resume rewrote artifact bytes")
+        print(
+            f"ok: K={num_shards} — {len(serial.rows)} cells, "
+            f"merge == serial, resume touched nothing"
+        )
+
+    print("ok: shard determinism holds for K in {1, 3, N}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

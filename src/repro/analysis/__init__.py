@@ -5,7 +5,13 @@ from .compare import PairedComparison, paired_comparison, win_matrix
 from .io import load_sweep, rows_to_csv, save_sweep, sweep_to_csv
 from .report import ReportConfig, generate_report
 from .stats import MeanCI, censored_mean, jains_index, latency_percentiles, mean_ci
-from .sweep import PROTOCOLS, SweepResult, run_cell, sweep_protocols
+from .sweep import (
+    PROTOCOLS,
+    SweepResult,
+    run_cell,
+    sweep_from_spec,
+    sweep_protocols,
+)
 from .tables import render_kv, render_series, render_table, render_telemetry
 
 __all__ = [
@@ -33,6 +39,7 @@ __all__ = [
     "render_table",
     "render_telemetry",
     "run_cell",
+    "sweep_from_spec",
     "sweep_protocols",
     "sweep_to_csv",
 ]

@@ -26,12 +26,18 @@ from ..baselines import (
 from ..baselines.base import ClusteringProtocol
 from ..config import paper_config
 from ..core import QLECProtocol
-from ..parallel import fold_results, run_tasks
+from ..parallel import SweepSpec, fold_results, run_tasks
 from ..simulation import run_simulation
 from ..telemetry import Telemetry, merge_snapshots
 from .stats import mean_ci
 
-__all__ = ["PROTOCOLS", "SweepResult", "run_cell", "sweep_protocols"]
+__all__ = [
+    "PROTOCOLS",
+    "SweepResult",
+    "run_cell",
+    "sweep_from_spec",
+    "sweep_protocols",
+]
 
 #: Registry: protocol name -> zero-argument factory.
 PROTOCOLS: dict[str, Callable[[], ClusteringProtocol]] = {
@@ -154,17 +160,37 @@ def sweep_protocols(
     snapshots come back with the rows and fold (in submission order,
     with an order-insensitive merge) into ``SweepResult.telemetry``.
     """
-    cells = [
-        (p, lam, seed, initial_energy, rounds, stop_on_death, telemetry)
-        for p in protocols
-        for lam in lambdas
-        for seed in seeds
-    ]
+    spec = SweepSpec(
+        protocols=tuple(protocols),
+        lambdas=tuple(lambdas),
+        seeds=tuple(seeds),
+        initial_energy=initial_energy,
+        rounds=rounds,
+        stop_on_death=stop_on_death,
+        telemetry=telemetry,
+    )
+    return sweep_from_spec(spec, max_workers=max_workers, serial=serial)
+
+
+def sweep_from_spec(
+    spec: SweepSpec,
+    max_workers: int | None = None,
+    serial: bool = False,
+) -> SweepResult:
+    """Run a :class:`~repro.parallel.SweepSpec` grid in one process pool.
+
+    The spec's canonical cell enumeration is the single source of truth
+    for row order — the same enumeration the shard runner partitions —
+    so a serial run, a pooled run, and a K-shard merge all produce
+    rows in the same order with the same values.
+    """
     rows = list(
-        run_tasks(run_cell, cells, max_workers=max_workers, serial=serial)
+        run_tasks(
+            run_cell, spec.cell_args(), max_workers=max_workers, serial=serial
+        )
     )
     merged = None
-    if telemetry:
+    if spec.telemetry:
         snaps = [row.pop("telemetry") for row in rows]
         merged = fold_results(snaps, merge_snapshots)
     return SweepResult(rows=rows, telemetry=merged)

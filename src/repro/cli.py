@@ -12,6 +12,8 @@ Commands
 ``convergence``  Theorem-3 X measurement (expected vs sampled backups)
 ``sensitivity``  QLEC hyperparameter robustness sweep
 ``scenario``     run one protocol on a named scenario from the catalog
+``sweep``        run one shard of a sweep grid into a JSONL artifact
+``merge``        fold shard artifacts back into one sweep
 ``report``       run everything and write REPORT.md
 """
 
@@ -45,6 +47,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="disable the process pool")
     fig3.add_argument("--telemetry", action="store_true",
                       help="print the sweep-merged telemetry breakdown")
+    fig3.add_argument("--from-artifacts", type=str, nargs="+", default=None,
+                      metavar="PATH",
+                      help="aggregate pre-run shard artifacts instead of "
+                           "simulating (see 'repro sweep' / 'repro merge')")
+
+    swp = sub.add_parser(
+        "sweep", help="run one shard of a sweep grid into a JSONL artifact"
+    )
+    swp.add_argument("--protocols", type=str, nargs="+",
+                     default=["qlec", "fcm", "kmeans"])
+    swp.add_argument("--lambdas", type=float, nargs="+",
+                     default=[2.0, 4.0, 8.0, 16.0])
+    swp.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    swp.add_argument("--rounds", type=int, default=20)
+    swp.add_argument("--energy", type=float, default=0.25)
+    swp.add_argument("--shard", type=str, default="1/1", metavar="k/K",
+                     help="which shard of the grid this invocation runs")
+    swp.add_argument("--out", type=str, default=None,
+                     help="artifact path (default sweep-shard-<k>of<K>.jsonl)")
+    swp.add_argument("--no-resume", action="store_true",
+                     help="recompute every cell even if the artifact "
+                          "already has matching rows")
+    swp.add_argument("--retries", type=int, default=1,
+                     help="extra in-worker attempts before a cell is "
+                          "recorded as an error row")
+    swp.add_argument("--serial", action="store_true",
+                     help="disable the process pool")
+    swp.add_argument("--workers", type=int, default=None)
+    swp.add_argument("--telemetry", action="store_true",
+                     help="instrument every cell; snapshots ride in the "
+                          "artifact and merge across shards")
+
+    mrg = sub.add_parser(
+        "merge", help="fold shard artifacts back into one sweep"
+    )
+    mrg.add_argument("artifacts", type=str, nargs="+",
+                     help="shard artifact paths, any subset, any order")
+    mrg.add_argument("--out", type=str, default=None,
+                     help="write the merged rows as a sweep JSON file")
+    mrg.add_argument("--artifact-out", type=str, default=None,
+                     help="write the merge itself as an artifact "
+                          "(pre-merged half for a later 'repro merge')")
+    mrg.add_argument("--strict", action="store_true",
+                     help="exit non-zero when cells are missing or errored")
+    mrg.add_argument("--telemetry", action="store_true",
+                     help="print the merged telemetry breakdown")
 
     fig4 = sub.add_parser("fig4", help="large-scale dataset run (Fig. 4)")
     fig4.add_argument("--nodes", type=int, default=2896)
@@ -113,16 +161,19 @@ def _cmd_quickstart(args) -> int:
 
 def _cmd_fig3(args) -> int:
     from .analysis import render_telemetry
-    from .experiments import Fig3Config, run_fig3
+    from .experiments import Fig3Config, fig3_from_artifacts, run_fig3
 
-    result = run_fig3(
-        Fig3Config(
-            lambdas=tuple(args.lambdas),
-            seeds=tuple(args.seeds),
-            serial=args.serial,
-            telemetry=args.telemetry,
+    if args.from_artifacts:
+        result = fig3_from_artifacts(args.from_artifacts)
+    else:
+        result = run_fig3(
+            Fig3Config(
+                lambdas=tuple(args.lambdas),
+                seeds=tuple(args.seeds),
+                serial=args.serial,
+                telemetry=args.telemetry,
+            )
         )
-    )
     print(result.render())
     if args.telemetry and result.telemetry is not None:
         print()
@@ -252,6 +303,78 @@ def _cmd_scenario(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .parallel import SweepSpec, parse_shard_arg, run_shard
+
+    shard, num_shards = parse_shard_arg(args.shard)
+    spec = SweepSpec(
+        protocols=tuple(args.protocols),
+        lambdas=tuple(args.lambdas),
+        seeds=tuple(args.seeds),
+        initial_energy=args.energy,
+        rounds=args.rounds,
+        telemetry=args.telemetry,
+    )
+    out = args.out or f"sweep-shard-{shard}of{num_shards}.jsonl"
+    result = run_shard(
+        spec,
+        shard,
+        num_shards,
+        out,
+        resume=not args.no_resume,
+        max_workers=args.workers,
+        serial=args.serial,
+        retries=args.retries,
+    )
+    print(
+        f"shard {shard}/{num_shards}: {len(result.cells)} of {len(spec)} "
+        f"cells -> {result.path}"
+    )
+    print(
+        f"  executed {len(result.executed)}, resumed {len(result.skipped)}, "
+        f"errors {len(result.errors)}"
+    )
+    for err in result.errors:
+        print(
+            f"  ERROR cell {err['cell_id']} "
+            f"({err['protocol']}, lambda={err['lambda']}, seed={err['seed']}): "
+            f"{err['error']['type']}: {err['error']['message']}"
+        )
+    return 1 if result.errors else 0
+
+
+def _cmd_merge(args) -> int:
+    from .analysis import render_table, render_telemetry, save_sweep
+    from .parallel import merge_artifacts, write_merged_artifact
+
+    merged = merge_artifacts(args.artifacts)
+    spec = merged.spec
+    print(
+        f"merged {len(args.artifacts)} artifact(s): "
+        f"{len(merged.sweep.rows)} of {len(spec)} cells recovered"
+    )
+    print(render_table(merged.sweep.rows, title="Merged sweep"))
+    if args.telemetry and merged.sweep.telemetry is not None:
+        print()
+        print(render_telemetry(merged.sweep.telemetry, title="Telemetry (merge)"))
+    for err in merged.errors:
+        print(
+            f"ERROR cell {err['cell_id']} "
+            f"({err['protocol']}, lambda={err['lambda']}, seed={err['seed']}): "
+            f"{err['error']['type']}: {err['error']['message']}"
+        )
+    if merged.missing:
+        print(f"MISSING {len(merged.missing)} cell(s): {merged.missing}")
+    if args.out:
+        save_sweep(merged.sweep, args.out)
+        print(f"wrote {args.out}")
+    if args.artifact_out:
+        write_merged_artifact(merged, args.artifacts, args.artifact_out)
+        print(f"wrote {args.artifact_out}")
+    incomplete = bool(merged.errors or merged.missing)
+    return 1 if (args.strict and incomplete) else 0
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "fig3": _cmd_fig3,
@@ -263,6 +386,8 @@ _COMMANDS = {
     "convergence": _cmd_convergence,
     "sensitivity": _cmd_sensitivity,
     "scenario": _cmd_scenario,
+    "sweep": _cmd_sweep,
+    "merge": _cmd_merge,
     "report": _cmd_report,
 }
 

@@ -20,7 +20,14 @@ from .complexity import (
     render_complexity_report,
 )
 from .fig1 import Fig1View, run_fig1
-from .fig3 import DEFAULT_LAMBDAS, Fig3Config, Fig3Result, run_fig3
+from .fig3 import (
+    DEFAULT_LAMBDAS,
+    Fig3Config,
+    Fig3Result,
+    fig3_from_artifacts,
+    fig3_spec,
+    run_fig3,
+)
 from .fig4 import Fig4Config, Fig4Report, run_fig4
 from .kopt_validation import KoptReport, run_kopt_validation
 from .sensitivity import (
@@ -47,6 +54,8 @@ __all__ = [
     "QLearningCostRow",
     "XMeasurement",
     "SelectionScalingRow",
+    "fig3_from_artifacts",
+    "fig3_spec",
     "measure_qlearning_updates",
     "measure_x",
     "measure_selection_scaling",

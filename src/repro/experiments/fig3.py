@@ -20,8 +20,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis import SweepResult, render_series, sweep_protocols
+from ..parallel import SweepSpec, merge_artifacts
 
-__all__ = ["Fig3Config", "Fig3Result", "run_fig3", "DEFAULT_LAMBDAS"]
+__all__ = [
+    "Fig3Config",
+    "Fig3Result",
+    "fig3_from_artifacts",
+    "fig3_spec",
+    "run_fig3",
+    "DEFAULT_LAMBDAS",
+]
 
 #: The four network conditions, congested -> idle.  The paper does not
 #: publish its lambda values; these four span saturation to idleness
@@ -88,19 +96,40 @@ class Fig3Result:
         return "\n\n".join(blocks)
 
 
-def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
-    """Run the sweep and aggregate all three panels."""
+def fig3_spec(config: Fig3Config | None = None) -> SweepSpec:
+    """The sharding-layer grid description of a Fig. 3 regeneration.
+
+    ``repro sweep --shard k/K`` with this spec's parameters runs any
+    slice of the figure's grid on any host; the merged artifacts feed
+    back through :func:`fig3_from_artifacts`.
+    """
     cfg = config if config is not None else Fig3Config()
-    sweep = sweep_protocols(
+    return SweepSpec(
         protocols=cfg.protocols,
         lambdas=cfg.lambdas,
         seeds=cfg.seeds,
         initial_energy=cfg.initial_energy,
         rounds=cfg.rounds,
-        serial=cfg.serial,
-        max_workers=cfg.max_workers,
         telemetry=cfg.telemetry,
     )
+
+
+def run_fig3(
+    config: Fig3Config | None = None, sweep: SweepResult | None = None
+) -> Fig3Result:
+    """Run the sweep (or aggregate a pre-merged one) into the panels."""
+    cfg = config if config is not None else Fig3Config()
+    if sweep is None:
+        sweep = sweep_protocols(
+            protocols=cfg.protocols,
+            lambdas=cfg.lambdas,
+            seeds=cfg.seeds,
+            initial_energy=cfg.initial_energy,
+            rounds=cfg.rounds,
+            serial=cfg.serial,
+            max_workers=cfg.max_workers,
+            telemetry=cfg.telemetry,
+        )
     lams = list(cfg.lambdas)
     return Fig3Result(
         config=cfg,
@@ -110,6 +139,28 @@ def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
         lifespan=sweep.series("lifespan", cfg.protocols, lams),
         latency=sweep.series("latency_slots", cfg.protocols, lams),
     )
+
+
+def fig3_from_artifacts(paths) -> Fig3Result:
+    """Rebuild the Fig. 3 panels from merged shard artifacts.
+
+    The grid shape (protocols, lambdas, seeds, energy, rounds) is read
+    from the artifacts' shared sweep spec, so the panels are exactly
+    those the equivalent single-host ``run_fig3`` would produce.
+    Raises if the artifacts leave cells missing or errored — a figure
+    silently aggregated over a partial grid is worse than no figure.
+    """
+    merged = merge_artifacts(paths).require_complete()
+    spec = merged.spec
+    cfg = Fig3Config(
+        lambdas=spec.lambdas,
+        seeds=spec.seeds,
+        protocols=spec.protocols,
+        initial_energy=spec.initial_energy,
+        rounds=spec.rounds,
+        telemetry=spec.telemetry,
+    )
+    return run_fig3(cfg, sweep=merged.sweep)
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -1,12 +1,37 @@
-"""Parallel sweep machinery: process pools + deterministic seeds."""
+"""Parallel sweep machinery: process pools, seeds, and sweep sharding."""
 
-from .pool import default_workers, fold_results, run_tasks
+from .pool import default_workers, fold_results, iter_tasks, run_tasks
 from .rng import SeedFactory, spawn_generators
+from .sharding import (
+    MergedSweep,
+    ShardArtifact,
+    ShardRunResult,
+    SweepCell,
+    SweepSpec,
+    load_artifact,
+    merge_artifacts,
+    parse_shard_arg,
+    partition_cells,
+    run_shard,
+    write_merged_artifact,
+)
 
 __all__ = [
+    "MergedSweep",
     "SeedFactory",
+    "ShardArtifact",
+    "ShardRunResult",
+    "SweepCell",
+    "SweepSpec",
     "default_workers",
     "fold_results",
+    "iter_tasks",
+    "load_artifact",
+    "merge_artifacts",
+    "parse_shard_arg",
+    "partition_cells",
+    "run_shard",
     "run_tasks",
     "spawn_generators",
+    "write_merged_artifact",
 ]

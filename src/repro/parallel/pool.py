@@ -25,18 +25,31 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
-__all__ = ["run_tasks", "fold_results", "default_workers"]
+__all__ = ["run_tasks", "iter_tasks", "fold_results", "default_workers"]
 
 
-def default_workers(max_workers: int | None = None) -> int:
-    """Resolve a worker count: explicit value, else cpu_count - 1."""
+def default_workers(
+    max_workers: int | None = None, n_tasks: int | None = None
+) -> int:
+    """Resolve a worker count: explicit value, else cpu_count - 1.
+
+    ``n_tasks`` caps the answer at the number of tasks to run, so a
+    2-cell shard never spawns a ``cpu_count - 1`` pool only to leave
+    most workers idle at fork cost.
+    """
     if max_workers is not None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
-        return max_workers
-    return max(1, (os.cpu_count() or 2) - 1)
+        workers = max_workers
+    else:
+        workers = max(1, (os.cpu_count() or 2) - 1)
+    if n_tasks is not None:
+        if n_tasks < 1:
+            raise ValueError("n_tasks must be >= 1")
+        workers = min(workers, n_tasks)
+    return workers
 
 
 def _call(task: tuple[Callable[..., Any], tuple]) -> Any:
@@ -73,16 +86,44 @@ def run_tasks(
     list
         Results in the order of ``argtuples``.
     """
+    return list(
+        iter_tasks(
+            fn,
+            argtuples,
+            max_workers=max_workers,
+            serial=serial,
+            chunksize=chunksize,
+        )
+    )
+
+
+def iter_tasks(
+    fn: Callable[..., Any],
+    argtuples: Sequence[tuple] | Iterable[tuple],
+    max_workers: int | None = None,
+    serial: bool = False,
+    chunksize: int = 1,
+) -> Iterator[Any]:
+    """Streaming variant of :func:`run_tasks`.
+
+    Yields results in submission order as they become available, which
+    lets callers checkpoint incrementally (the shard runner appends a
+    row to its artifact after every completed cell, so a crash loses at
+    most the in-flight cells).  Exhausting the iterator is equivalent
+    to :func:`run_tasks`; abandoning it tears the pool down.
+    """
     tasks = [(fn, tuple(args)) for args in argtuples]
     if not tasks:
-        return []
-    workers = default_workers(max_workers)
-    if serial or workers == 1 or len(tasks) == 1:
-        return [_call(t) for t in tasks]
+        return
     if chunksize < 1:
         raise ValueError("chunksize must be >= 1")
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        return list(pool.map(_call, tasks, chunksize=chunksize))
+    workers = default_workers(max_workers, n_tasks=len(tasks))
+    if serial or workers == 1 or len(tasks) == 1:
+        for t in tasks:
+            yield _call(t)
+        return
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        yield from pool.map(_call, tasks, chunksize=chunksize)
 
 
 def fold_results(

@@ -1,0 +1,721 @@
+"""Sweep-level sharding: partition a grid, run shards anywhere, merge.
+
+The slot kernel batches *within* one simulation and the telemetry layer
+made per-worker results mergeable; this module is the third scale axis:
+it lets one sweep grid (protocol × λ × seed) run as ``K`` independent
+*shards* — separate process pools, separate invocations, separate
+hosts — and folds the shard artifacts back into a
+:class:`~repro.analysis.sweep.SweepResult` that is equal to the serial
+run on every deterministic metric.
+
+Identity scheme
+---------------
+Every grid cell gets a **stable cell ID**: a 16-hex digest of
+``(protocol, lambda, seed, config_fingerprint)``, where the config
+fingerprint covers the complete :class:`~repro.config.SimulationConfig`
+the cell will run.  IDs therefore survive re-enumeration, grid
+extension, and host boundaries — and change exactly when the scenario
+a cell would simulate changes.
+
+Shard assignment ranks cells by their ID and deals them round-robin:
+``shard(cell) = rank(cell_id) mod K``.  That keeps shards balanced
+(sizes differ by at most one), makes ``K = N`` produce singleton
+shards, and depends only on the *set* of cell IDs, never on
+enumeration order.
+
+Artifact format
+---------------
+A shard writes one JSONL artifact: a ``shard-manifest`` header
+(shard ``k/K``, the full sweep spec, and the spec fingerprint), then
+one record per cell — ``cell`` rows carrying the summary (and the
+cell's telemetry snapshot when instrumented) or ``cell-error`` rows
+when a worker kept failing after retries — and a ``shard-telemetry``
+trailer with the shard-level merged snapshot.  Rows are appended as
+results stream back, so a crash loses at most the in-flight cells:
+rerunning with ``resume=True`` skips every cell whose row is already
+present with a matching config fingerprint and recomputes the rest.
+
+Merging (:func:`merge_artifacts`) accepts any subset of artifacts in
+any order, dedupes by cell ID (value-conflicts raise — that would mean
+nondeterminism), reports error rows and missing cells instead of
+silently dropping them, and reassembles rows in canonical grid order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..telemetry.manifest import (
+    SHARD_MANIFEST_KIND,
+    shard_manifest,
+    stable_fingerprint,
+)
+from ..telemetry.registry import merge_snapshots
+from .pool import fold_results, iter_tasks
+
+__all__ = [
+    "CELL_KIND",
+    "CELL_ERROR_KIND",
+    "SHARD_TELEMETRY_KIND",
+    "MergedSweep",
+    "ShardArtifact",
+    "ShardRunResult",
+    "SweepCell",
+    "SweepSpec",
+    "load_artifact",
+    "merge_artifacts",
+    "parse_shard_arg",
+    "partition_cells",
+    "run_shard",
+    "write_merged_artifact",
+]
+
+#: Record discriminators inside a shard artifact (after the manifest).
+CELL_KIND = "cell"
+CELL_ERROR_KIND = "cell-error"
+SHARD_TELEMETRY_KIND = "shard-telemetry"
+
+
+# ---------------------------------------------------------------------------
+# Grid specification and cell identity
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The complete, serialisable description of one sweep grid.
+
+    This is the unit that crosses host boundaries: a spec fully
+    determines the cell set, every cell's scenario config, the
+    canonical row order, and (via :attr:`fingerprint`) whether two
+    artifacts belong to the same sweep.
+    """
+
+    protocols: tuple[str, ...]
+    lambdas: tuple[float, ...]
+    seeds: tuple[int, ...]
+    initial_energy: float = 0.25
+    rounds: int = 20
+    stop_on_death: bool = False
+    telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        object.__setattr__(
+            self, "lambdas", tuple(float(v) for v in self.lambdas)
+        )
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not (self.protocols and self.lambdas and self.seeds):
+            raise ValueError("sweep spec needs >= 1 protocol, lambda, and seed")
+
+    # -- serialisation -------------------------------------------------
+    def to_payload(self) -> dict:
+        """Plain JSON-able dict (the manifest's ``spec`` value)."""
+        payload = dataclasses.asdict(self)
+        payload["protocols"] = list(self.protocols)
+        payload["lambdas"] = list(self.lambdas)
+        payload["seeds"] = list(self.seeds)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SweepSpec":
+        return cls(**payload)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable digest of the whole grid description."""
+        return stable_fingerprint(self.to_payload())
+
+    # -- enumeration ---------------------------------------------------
+    def cell_args(self) -> list[tuple]:
+        """Canonical (protocol × lambda × seed) enumeration as the
+        positional argument tuples of :func:`repro.analysis.sweep.run_cell`."""
+        return [
+            (
+                p,
+                lam,
+                seed,
+                self.initial_energy,
+                self.rounds,
+                self.stop_on_death,
+                self.telemetry,
+            )
+            for p in self.protocols
+            for lam in self.lambdas
+            for seed in self.seeds
+        ]
+
+    def cells(self) -> list["SweepCell"]:
+        """Enumerate the grid with stable identities, in canonical order."""
+        from ..config import paper_config
+        from ..telemetry.manifest import config_fingerprint
+
+        out = []
+        for p in self.protocols:
+            for lam in self.lambdas:
+                for seed in self.seeds:
+                    fp = config_fingerprint(
+                        paper_config(
+                            mean_interarrival=lam,
+                            seed=seed,
+                            rounds=self.rounds,
+                            initial_energy=self.initial_energy,
+                        )
+                    )
+                    out.append(SweepCell.build(p, lam, seed, fp))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.protocols) * len(self.lambdas) * len(self.seeds)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point plus its stable identity."""
+
+    protocol: str
+    lam: float
+    seed: int
+    config_fingerprint: str
+    cell_id: str
+
+    @classmethod
+    def build(
+        cls, protocol: str, lam: float, seed: int, config_fingerprint: str
+    ) -> "SweepCell":
+        cell_id = stable_fingerprint(
+            {
+                "protocol": protocol,
+                "lambda": float(lam),
+                "seed": int(seed),
+                "config_fingerprint": config_fingerprint,
+            }
+        )
+        return cls(protocol, float(lam), int(seed), config_fingerprint, cell_id)
+
+
+def partition_cells(
+    cells: Sequence[SweepCell], num_shards: int
+) -> list[list[SweepCell]]:
+    """Deal cells into ``num_shards`` balanced, deterministic shards.
+
+    Cells are ranked by cell ID (a stable hash) and assigned
+    ``rank mod num_shards``; within each shard the canonical
+    enumeration order of ``cells`` is preserved.  Shard sizes differ by
+    at most one, and the assignment is a pure function of the cell-ID
+    set — independent of enumeration order, process, and host.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    rank = {
+        cell_id: i
+        for i, cell_id in enumerate(sorted(c.cell_id for c in cells))
+    }
+    if len(rank) != len(cells):
+        raise ValueError("duplicate cell IDs in grid")
+    shards: list[list[SweepCell]] = [[] for _ in range(num_shards)]
+    for cell in cells:
+        shards[rank[cell.cell_id] % num_shards].append(cell)
+    return shards
+
+
+def parse_shard_arg(text: str) -> tuple[int, int]:
+    """Parse the CLI's ``k/K`` shard selector (1-based)."""
+    try:
+        k_str, total_str = text.split("/")
+        k, total = int(k_str), int(total_str)
+    except ValueError:
+        raise ValueError(
+            f"shard selector {text!r} is not of the form k/K"
+        ) from None
+    if not 1 <= k <= total:
+        raise ValueError(f"shard selector {text!r}: need 1 <= k <= K")
+    return k, total
+
+
+# ---------------------------------------------------------------------------
+# Shard execution (checkpoint, resume, retry)
+# ---------------------------------------------------------------------------
+
+
+def _default_cell_fn(
+    protocol: str,
+    lam: float,
+    seed: int,
+    initial_energy: float,
+    rounds: int,
+    stop_on_death: bool,
+    telemetry: bool,
+):
+    # Deferred import keeps repro.parallel free of an import cycle with
+    # repro.analysis (which imports this package at module scope).
+    from ..analysis.sweep import run_cell
+
+    return run_cell(
+        protocol,
+        lam,
+        seed,
+        initial_energy=initial_energy,
+        rounds=rounds,
+        stop_on_death=stop_on_death,
+        telemetry=telemetry,
+    )
+
+
+def _guarded_cell(cell_fn: Callable, args: tuple, retries: int) -> tuple:
+    """Run one cell in a worker without ever raising.
+
+    A raised exception would abort the whole ``pool.map``; instead the
+    cell is retried up to ``retries`` extra times in place (transient
+    faults) and, failing that, an error payload comes home so the
+    shard completes and records the casualty.
+    """
+    last: Exception | None = None
+    attempts = 0
+    for attempts in range(1, retries + 2):
+        try:
+            return ("ok", cell_fn(*args), attempts)
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            last = exc
+    return (
+        "error",
+        {"type": type(last).__name__, "message": str(last)},
+        attempts,
+    )
+
+
+@dataclass
+class ShardRunResult:
+    """Outcome of one :func:`run_shard` invocation."""
+
+    spec: SweepSpec
+    shard: int
+    num_shards: int
+    path: Path
+    cells: list[SweepCell]
+    #: Cell IDs actually simulated in this invocation.
+    executed: list[str] = field(default_factory=list)
+    #: Cell IDs reused from the existing artifact (resume hits).
+    skipped: list[str] = field(default_factory=list)
+    #: Error records (post-retry) produced by this invocation.
+    errors: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def _jsonable(value):
+    """Coerce numpy scalars so artifact rows serialise anywhere."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()
+    return value
+
+
+def _cell_record(cell: SweepCell, summary: dict, attempts: int) -> dict:
+    summary = dict(summary)
+    snapshot = summary.pop("telemetry", None)
+    record = {
+        "kind": CELL_KIND,
+        "cell_id": cell.cell_id,
+        "protocol": cell.protocol,
+        "lambda": cell.lam,
+        "seed": cell.seed,
+        "config_fingerprint": cell.config_fingerprint,
+        "attempts": attempts,
+        "summary": _jsonable(summary),
+    }
+    if snapshot is not None:
+        record["telemetry"] = _jsonable(snapshot)
+    return record
+
+
+def _error_record(cell: SweepCell, error: dict, attempts: int) -> dict:
+    return {
+        "kind": CELL_ERROR_KIND,
+        "cell_id": cell.cell_id,
+        "protocol": cell.protocol,
+        "lambda": cell.lam,
+        "seed": cell.seed,
+        "config_fingerprint": cell.config_fingerprint,
+        "attempts": attempts,
+        "error": dict(error),
+    }
+
+
+def _dump(record: dict) -> str:
+    return json.dumps(record, sort_keys=True)
+
+
+def run_shard(
+    spec: SweepSpec,
+    shard: int,
+    num_shards: int,
+    out_path,
+    *,
+    resume: bool = True,
+    max_workers: int | None = None,
+    serial: bool = False,
+    retries: int = 1,
+    cell_fn: Callable | None = None,
+) -> ShardRunResult:
+    """Execute shard ``shard/num_shards`` of ``spec`` into a JSONL artifact.
+
+    Parameters
+    ----------
+    spec:
+        The full grid; this invocation runs only the cells the rank
+        partition assigns to ``shard`` (1-based, as in ``--shard k/K``).
+    out_path:
+        Artifact path.  With ``resume=True`` an existing artifact is
+        mined for reusable rows: a cell is skipped iff a ``cell`` row
+        with its exact cell ID (which embeds the config fingerprint)
+        is present; error rows and stale rows (fingerprint or shard
+        membership mismatch) are dropped and recomputed.  When every
+        cell is already present the file is left byte-untouched.
+    retries:
+        Extra in-worker attempts per cell before an error row is
+        recorded in place of the summary.
+    cell_fn:
+        Override of the cell executor (module-level picklable callable
+        with :func:`repro.analysis.sweep.run_cell`'s positional
+        signature) — the fault-injection seam used by the tests.
+    """
+    if not 1 <= shard <= num_shards:
+        raise ValueError(f"shard {shard}/{num_shards} out of range")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    out_path = Path(out_path)
+    cells = partition_cells(spec.cells(), num_shards)[shard - 1]
+    by_id = {c.cell_id: c for c in cells}
+
+    retained: dict[str, dict] = {}
+    stale = False  # anything in the file a canonical rewrite would drop
+    if resume and out_path.exists():
+        artifact = load_artifact(out_path)
+        trailers = 0
+        for record in artifact.records:
+            kind = record.get("kind")
+            if (
+                kind == CELL_KIND
+                and record.get("cell_id") in by_id
+                # An instrumented resume can't reuse a row recorded
+                # without its telemetry snapshot.
+                and (not spec.telemetry or "telemetry" in record)
+            ):
+                if record["cell_id"] in retained:
+                    stale = True  # duplicate row
+                else:
+                    retained[record["cell_id"]] = record
+            elif kind == SHARD_TELEMETRY_KIND:
+                trailers += 1
+            else:
+                stale = True  # error rows, foreign/stale-fingerprint cells
+        if artifact.manifest.get("spec_fingerprint") != spec.fingerprint or (
+            artifact.manifest.get("shard"),
+            artifact.manifest.get("num_shards"),
+        ) != (shard, num_shards):
+            stale = True
+        # Canonical artifact ends with exactly one telemetry trailer
+        # iff the spec is instrumented.
+        if spec.telemetry:
+            if trailers != 1 or (
+                not artifact.records
+                or artifact.records[-1].get("kind") != SHARD_TELEMETRY_KIND
+            ):
+                stale = True
+        elif trailers:
+            stale = True
+
+    pending = [c for c in cells if c.cell_id not in retained]
+    result = ShardRunResult(
+        spec=spec,
+        shard=shard,
+        num_shards=num_shards,
+        path=out_path,
+        cells=cells,
+        skipped=sorted(retained),
+    )
+
+    if not pending and not stale:
+        return result  # complete artifact: recompute nothing, touch nothing
+
+    fn = cell_fn if cell_fn is not None else _default_cell_fn
+    tasks = [
+        (
+            fn,
+            (
+                c.protocol,
+                c.lam,
+                c.seed,
+                spec.initial_energy,
+                spec.rounds,
+                spec.stop_on_death,
+                spec.telemetry,
+            ),
+            retries,
+        )
+        for c in pending
+    ]
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    records: list[dict] = [retained[c.cell_id] for c in cells if c.cell_id in retained]
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write(
+            _dump(
+                shard_manifest(
+                    spec.to_payload(), spec.fingerprint, shard, num_shards
+                )
+            )
+            + "\n"
+        )
+        for record in records:
+            fh.write(_dump(record) + "\n")
+        fh.flush()
+        results = iter_tasks(
+            _guarded_cell, tasks, max_workers=max_workers, serial=serial
+        )
+        for cell, (status, payload, attempts) in zip(pending, results):
+            if status == "ok":
+                record = _cell_record(cell, payload, attempts)
+                result.executed.append(cell.cell_id)
+            else:
+                record = _error_record(cell, payload, attempts)
+                result.errors.append(record)
+            records.append(record)
+            fh.write(_dump(record) + "\n")
+            fh.flush()
+        if spec.telemetry:
+            snaps = [
+                r["telemetry"] for r in records
+                if r["kind"] == CELL_KIND and "telemetry" in r
+            ]
+            merged = fold_results(snaps, merge_snapshots) if snaps else {}
+            fh.write(
+                _dump({"kind": SHARD_TELEMETRY_KIND, "snapshot": merged})
+                + "\n"
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Artifact loading and merging
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardArtifact:
+    """A parsed shard (or merged) artifact."""
+
+    manifest: dict
+    records: list[dict]
+    path: Path | None = None
+
+    @property
+    def spec(self) -> SweepSpec:
+        return SweepSpec.from_payload(self.manifest["spec"])
+
+    @property
+    def cell_rows(self) -> list[dict]:
+        return [r for r in self.records if r.get("kind") == CELL_KIND]
+
+    @property
+    def error_rows(self) -> list[dict]:
+        return [r for r in self.records if r.get("kind") == CELL_ERROR_KIND]
+
+    @property
+    def telemetry_snapshot(self) -> dict | None:
+        """The shard-level merged snapshot (last trailer wins)."""
+        for record in reversed(self.records):
+            if record.get("kind") == SHARD_TELEMETRY_KIND:
+                return record["snapshot"]
+        return None
+
+
+def load_artifact(path) -> ShardArtifact:
+    """Parse a shard artifact, tolerating a torn final line.
+
+    A crash mid-append leaves at most one partial trailing line; that
+    line is dropped (the cell it would have recorded is simply
+    recomputed on resume).  Any other malformed line is an error.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty artifact")
+    parsed: list[dict] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail from a crash mid-write
+            raise ValueError(f"{path}: malformed JSONL at line {i + 1}") from None
+    if not parsed or parsed[0].get("kind") != SHARD_MANIFEST_KIND:
+        raise ValueError(f"{path}: missing {SHARD_MANIFEST_KIND!r} header")
+    return ShardArtifact(manifest=parsed[0], records=parsed[1:], path=path)
+
+
+@dataclass
+class MergedSweep:
+    """The fold of shard artifacts back into one sweep.
+
+    ``sweep.rows`` holds every recovered cell summary in canonical grid
+    order; cells that only produced error rows surface in ``errors``
+    and cells no artifact covered in ``missing`` — merge never drops a
+    cell silently.
+    """
+
+    spec: SweepSpec
+    sweep: "SweepResult"  # noqa: F821 - runtime import below
+    errors: list[dict] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.errors and not self.missing
+
+    def require_complete(self) -> "MergedSweep":
+        if not self.complete:
+            raise ValueError(
+                f"merge incomplete: {len(self.errors)} error cell(s) "
+                f"{[e['cell_id'] for e in self.errors]}, "
+                f"{len(self.missing)} missing cell(s) {self.missing}"
+            )
+        return self
+
+
+def merge_artifacts(
+    artifacts: Iterable[ShardArtifact | str | Path],
+) -> MergedSweep:
+    """Fold shard artifacts (any subset, any order) into a sweep.
+
+    All artifacts must carry the same spec fingerprint.  Duplicate
+    coverage of a cell is fine when the rows agree (they are the same
+    deterministic computation); a value conflict raises, because that
+    is exactly the nondeterminism this layer exists to rule out.
+    """
+    from ..analysis.sweep import SweepResult
+
+    loaded = [
+        a if isinstance(a, ShardArtifact) else load_artifact(a)
+        for a in artifacts
+    ]
+    if not loaded:
+        raise ValueError("no artifacts to merge")
+    spec = loaded[0].spec
+    for art in loaded[1:]:
+        if art.manifest["spec_fingerprint"] != loaded[0].manifest["spec_fingerprint"]:
+            raise ValueError(
+                f"{art.path or '<memory>'}: spec fingerprint "
+                f"{art.manifest['spec_fingerprint']} does not match "
+                f"{loaded[0].manifest['spec_fingerprint']}"
+            )
+
+    cells = spec.cells()
+    known = {c.cell_id for c in cells}
+    rows_by_id: dict[str, dict] = {}
+    errors_by_id: dict[str, dict] = {}
+    for art in loaded:
+        for record in art.cell_rows:
+            cid = record["cell_id"]
+            if cid not in known:
+                raise ValueError(
+                    f"{art.path or '<memory>'}: cell {cid} is not in the grid"
+                )
+            seen = rows_by_id.get(cid)
+            if seen is None:
+                rows_by_id[cid] = record
+            elif (seen["summary"], seen.get("telemetry")) != (
+                record["summary"],
+                record.get("telemetry"),
+            ):
+                raise ValueError(
+                    f"cell {cid} has conflicting rows across artifacts "
+                    f"(nondeterministic cell?)"
+                )
+        for record in art.error_rows:
+            errors_by_id.setdefault(record["cell_id"], record)
+
+    rows: list[dict] = []
+    snaps: list[dict] = []
+    errors: list[dict] = []
+    missing: list[str] = []
+    for cell in cells:
+        record = rows_by_id.get(cell.cell_id)
+        if record is not None:
+            rows.append(dict(record["summary"]))
+            if "telemetry" in record:
+                snaps.append(record["telemetry"])
+        elif cell.cell_id in errors_by_id:
+            errors.append(errors_by_id[cell.cell_id])
+        else:
+            missing.append(cell.cell_id)
+    merged_snapshot = (
+        fold_results(snaps, merge_snapshots) if snaps else None
+    )
+    return MergedSweep(
+        spec=spec,
+        sweep=SweepResult(rows=rows, telemetry=merged_snapshot),
+        errors=errors,
+        missing=missing,
+    )
+
+
+def write_merged_artifact(merged: MergedSweep, artifacts, path) -> Path:
+    """Persist a merge as an artifact of its own (hierarchical merges).
+
+    The output uses the reserved ``shard 0/0`` marker and the union of
+    the inputs' cell and unresolved-error records, so two hosts'
+    artifacts can be pre-merged locally and the halves merged again
+    later: merge is subset-associative by construction.
+    """
+    loaded = [
+        a if isinstance(a, ShardArtifact) else load_artifact(a)
+        for a in artifacts
+    ]
+    path = Path(path)
+    resolved = set()
+    records: dict[str, dict] = {}
+    for art in loaded:
+        for record in art.cell_rows:
+            records.setdefault(record["cell_id"], record)
+            resolved.add(record["cell_id"])
+    for art in loaded:
+        for record in art.error_rows:
+            if record["cell_id"] not in resolved:
+                records.setdefault(record["cell_id"], record)
+    order = {c.cell_id: i for i, c in enumerate(merged.spec.cells())}
+    body = sorted(records.values(), key=lambda r: order[r["cell_id"]])
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            _dump(
+                shard_manifest(
+                    merged.spec.to_payload(), merged.spec.fingerprint, 0, 0
+                )
+            )
+            + "\n"
+        )
+        for record in body:
+            fh.write(_dump(record) + "\n")
+        if merged.sweep.telemetry is not None:
+            fh.write(
+                _dump(
+                    {
+                        "kind": SHARD_TELEMETRY_KIND,
+                        "snapshot": merged.sweep.telemetry,
+                    }
+                )
+                + "\n"
+            )
+    return path

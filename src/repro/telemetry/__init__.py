@@ -24,8 +24,11 @@ trace JSONL schema.
 from .manifest import (
     MANIFEST_KIND,
     MANIFEST_SCHEMA,
+    SHARD_MANIFEST_KIND,
     config_fingerprint,
     run_manifest,
+    shard_manifest,
+    stable_fingerprint,
 )
 from .registry import (
     TIME_PREFIX,
@@ -47,10 +50,13 @@ __all__ = [
     "MetricRegistry",
     "NULL",
     "NullTelemetry",
+    "SHARD_MANIFEST_KIND",
     "TIME_PREFIX",
     "Telemetry",
     "config_fingerprint",
     "deterministic_view",
     "merge_snapshots",
     "run_manifest",
+    "shard_manifest",
+    "stable_fingerprint",
 ]

@@ -19,13 +19,36 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from ..config import SimulationConfig
 
-__all__ = ["MANIFEST_KIND", "MANIFEST_SCHEMA", "config_fingerprint", "run_manifest"]
+__all__ = [
+    "MANIFEST_KIND",
+    "MANIFEST_SCHEMA",
+    "SHARD_MANIFEST_KIND",
+    "config_fingerprint",
+    "run_manifest",
+    "shard_manifest",
+    "stable_fingerprint",
+]
 
 #: Discriminator value of the manifest header line in trace JSONL.
 MANIFEST_KIND = "manifest"
 
+#: Discriminator value of the shard-artifact header line.
+SHARD_MANIFEST_KIND = "shard-manifest"
+
 #: Bump when manifest keys change incompatibly.
 MANIFEST_SCHEMA = 1
+
+
+def stable_fingerprint(payload) -> str:
+    """Stable 16-hex-digit digest of any JSON-able payload.
+
+    Canonicalised via sorted-key JSON, so two payloads fingerprint
+    equal iff they are value-equal — independent of dict insertion
+    order, process, or host.  This is the primitive behind config
+    fingerprints, sweep-spec fingerprints, and shard cell IDs.
+    """
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def config_fingerprint(config: "SimulationConfig") -> str:
@@ -35,9 +58,7 @@ def config_fingerprint(config: "SimulationConfig") -> str:
     included) is equal — the seed included, since the seed is part of
     the scenario identity for reproduction purposes.
     """
-    payload = dataclasses.asdict(config)
-    canonical = json.dumps(payload, sort_keys=True, default=repr)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    return stable_fingerprint(dataclasses.asdict(config))
 
 
 def run_manifest(
@@ -66,3 +87,32 @@ def run_manifest(
             raise ValueError(f"extra keys shadow manifest keys: {sorted(overlap)}")
         manifest.update(extra)
     return manifest
+
+
+def shard_manifest(
+    spec_payload: dict,
+    spec_fingerprint: str,
+    shard: int,
+    num_shards: int,
+) -> dict:
+    """Build the self-describing header of one shard artifact.
+
+    ``shard`` is 1-based (``shard/num_shards`` mirrors the CLI's
+    ``--shard k/K``); the pair ``(0, 0)`` is reserved for *merged*
+    artifacts, which cover an arbitrary subset of the grid rather than
+    one hash-assigned shard.
+    """
+    from .. import __version__  # deferred: repro/__init__ imports the engine
+
+    if (shard, num_shards) != (0, 0) and not 1 <= shard <= num_shards:
+        raise ValueError(f"shard {shard}/{num_shards} out of range")
+    return {
+        "kind": SHARD_MANIFEST_KIND,
+        "schema": MANIFEST_SCHEMA,
+        "package": "repro",
+        "version": __version__,
+        "shard": shard,
+        "num_shards": num_shards,
+        "spec": dict(spec_payload),
+        "spec_fingerprint": spec_fingerprint,
+    }

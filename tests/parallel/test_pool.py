@@ -4,7 +4,12 @@ import os
 
 import pytest
 
-from repro.parallel.pool import default_workers, fold_results, run_tasks
+from repro.parallel.pool import (
+    default_workers,
+    fold_results,
+    iter_tasks,
+    run_tasks,
+)
 
 
 def square(x):
@@ -85,6 +90,19 @@ class TestFoldResults:
         assert merged["x"]["value"] == 6
 
 
+class TestIterTasks:
+    def test_streams_in_submission_order(self):
+        it = iter_tasks(square, [(i,) for i in range(8)], max_workers=2)
+        assert next(it) == 0
+        assert list(it) == [i * i for i in range(1, 8)]
+
+    def test_serial_streaming(self):
+        assert list(iter_tasks(square, [(3,), (4,)], serial=True)) == [9, 16]
+
+    def test_empty(self):
+        assert list(iter_tasks(square, [])) == []
+
+
 class TestDefaultWorkers:
     def test_explicit_value(self):
         assert default_workers(3) == 3
@@ -96,3 +114,15 @@ class TestDefaultWorkers:
     def test_auto_leaves_headroom(self):
         w = default_workers()
         assert 1 <= w <= (os.cpu_count() or 2)
+
+    def test_clamps_to_task_count(self):
+        """Regression: a 2-cell shard must not spawn cpu_count-1
+        workers — the pool is capped at one worker per task."""
+        assert default_workers(None, n_tasks=2) <= 2
+        assert default_workers(8, n_tasks=3) == 3
+        assert default_workers(2, n_tasks=5) == 2
+
+    def test_task_count_keeps_floor_of_one(self):
+        assert default_workers(None, n_tasks=1) == 1
+        with pytest.raises(ValueError):
+            default_workers(None, n_tasks=0)

@@ -1,0 +1,310 @@
+"""Unit and property-based tests for sweep-level sharding.
+
+The property-based half drives the merge contract: folding shard
+artifacts must be order-insensitive (any permutation) and
+subset-associative (merging pre-merged halves), always reproducing the
+serial sweep exactly.  The simulations themselves run once in
+module-scoped fixtures; every hypothesis example only re-merges
+in-memory artifacts, so hundreds of examples stay cheap.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweep import sweep_from_spec
+from repro.parallel.sharding import (
+    CELL_KIND,
+    SHARD_TELEMETRY_KIND,
+    ShardArtifact,
+    SweepCell,
+    SweepSpec,
+    load_artifact,
+    merge_artifacts,
+    parse_shard_arg,
+    partition_cells,
+    run_shard,
+    write_merged_artifact,
+)
+from repro.telemetry import deterministic_view
+from repro.telemetry.manifest import SHARD_MANIFEST_KIND
+
+SPEC = SweepSpec(
+    protocols=("direct",),
+    lambdas=(4.0, 8.0),
+    seeds=(0, 1, 2),
+    rounds=2,
+    telemetry=True,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    return sweep_from_spec(SPEC, serial=True)
+
+
+@pytest.fixture(scope="module")
+def singleton_artifacts(tmp_path_factory):
+    """One artifact per cell (K = N singleton shards)."""
+    root = tmp_path_factory.mktemp("singletons")
+    n = len(SPEC)
+    paths = []
+    for k in range(1, n + 1):
+        res = run_shard(SPEC, k, n, root / f"s{k}.jsonl", serial=True)
+        assert len(res.cells) == 1 and not res.errors
+        paths.append(res.path)
+    return [load_artifact(p) for p in paths]
+
+
+class TestSpec:
+    def test_payload_roundtrip(self):
+        clone = SweepSpec.from_payload(SPEC.to_payload())
+        assert clone == SPEC
+        assert clone.fingerprint == SPEC.fingerprint
+
+    def test_payload_roundtrips_through_json(self):
+        clone = SweepSpec.from_payload(json.loads(json.dumps(SPEC.to_payload())))
+        assert clone.fingerprint == SPEC.fingerprint
+
+    def test_fingerprint_sensitive_to_grid(self):
+        other = SweepSpec(
+            protocols=("direct",), lambdas=(4.0, 8.0), seeds=(0, 1), rounds=2
+        )
+        assert other.fingerprint != SPEC.fingerprint
+
+    def test_coerces_sequences(self):
+        spec = SweepSpec(protocols=["direct"], lambdas=[4], seeds=[0])
+        assert spec.protocols == ("direct",)
+        assert spec.lambdas == (4.0,)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(protocols=(), lambdas=(4.0,), seeds=(0,))
+
+    def test_len_is_grid_size(self):
+        assert len(SPEC) == 1 * 2 * 3
+
+    def test_cell_args_match_cells_order(self):
+        args = SPEC.cell_args()
+        cells = SPEC.cells()
+        assert [(a[0], a[1], a[2]) for a in args] == [
+            (c.protocol, c.lam, c.seed) for c in cells
+        ]
+
+
+class TestCellIdentity:
+    def test_ids_are_16_hex(self):
+        for cell in SPEC.cells():
+            int(cell.cell_id, 16)
+            assert len(cell.cell_id) == 16
+
+    def test_ids_unique_and_stable(self):
+        a = [c.cell_id for c in SPEC.cells()]
+        b = [c.cell_id for c in SPEC.cells()]
+        assert a == b
+        assert len(set(a)) == len(a)
+
+    def test_id_embeds_config_fingerprint(self):
+        """Changing the scenario (rounds) moves every cell ID."""
+        other = SweepSpec(
+            protocols=("direct",), lambdas=(4.0, 8.0), seeds=(0, 1, 2),
+            rounds=3, telemetry=True,
+        )
+        assert {c.cell_id for c in other.cells()}.isdisjoint(
+            {c.cell_id for c in SPEC.cells()}
+        )
+
+    def test_id_survives_grid_extension(self):
+        """Adding a protocol leaves existing cells' IDs untouched."""
+        wider = SweepSpec(
+            protocols=("direct", "kmeans"), lambdas=(4.0, 8.0),
+            seeds=(0, 1, 2), rounds=2, telemetry=True,
+        )
+        assert {c.cell_id for c in SPEC.cells()} <= {
+            c.cell_id for c in wider.cells()
+        }
+
+    def test_build_is_pure(self):
+        a = SweepCell.build("direct", 4.0, 0, "ab" * 8)
+        b = SweepCell.build("direct", 4.0, 0, "ab" * 8)
+        assert a == b
+
+
+class TestPartition:
+    def test_disjoint_and_covering(self):
+        cells = SPEC.cells()
+        for k in (1, 2, 3, len(cells), len(cells) + 3):
+            shards = partition_cells(cells, k)
+            ids = [c.cell_id for shard in shards for c in shard]
+            assert sorted(ids) == sorted(c.cell_id for c in cells)
+            assert len(ids) == len(set(ids))
+
+    def test_balanced(self):
+        shards = partition_cells(SPEC.cells(), 4)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_singletons_at_k_equals_n(self):
+        cells = SPEC.cells()
+        shards = partition_cells(cells, len(cells))
+        assert all(len(s) == 1 for s in shards)
+
+    def test_assignment_ignores_enumeration_order(self):
+        cells = SPEC.cells()
+        shards = partition_cells(cells, 3)
+        reversed_shards = partition_cells(list(reversed(cells)), 3)
+        for a, b in zip(shards, reversed_shards):
+            assert {c.cell_id for c in a} == {c.cell_id for c in b}
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_cells(SPEC.cells(), 0)
+
+
+class TestParseShardArg:
+    def test_parses(self):
+        assert parse_shard_arg("1/1") == (1, 1)
+        assert parse_shard_arg("2/3") == (2, 3)
+
+    @pytest.mark.parametrize("bad", ["0/3", "4/3", "x/3", "3", "1/2/3", ""])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_shard_arg(bad)
+
+
+class TestArtifactFormat:
+    def test_header_and_record_kinds(self, singleton_artifacts):
+        art = singleton_artifacts[0]
+        assert art.manifest["kind"] == SHARD_MANIFEST_KIND
+        assert art.manifest["spec_fingerprint"] == SPEC.fingerprint
+        kinds = [r["kind"] for r in art.records]
+        assert kinds == [CELL_KIND, SHARD_TELEMETRY_KIND]
+
+    def test_torn_tail_tolerated(self, singleton_artifacts, tmp_path):
+        text = singleton_artifacts[0].path.read_text()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(text + '{"kind": "cell", "cell_id": "dead')
+        art = load_artifact(torn)
+        assert len(art.records) == len(singleton_artifacts[0].records)
+
+    def test_malformed_middle_line_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            json.dumps({"kind": SHARD_MANIFEST_KIND, "spec": {}}) + "\n"
+            "not json\n"
+            + json.dumps({"kind": CELL_KIND}) + "\n"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            load_artifact(bad)
+
+    def test_missing_header_rejected(self, tmp_path):
+        bad = tmp_path / "headless.jsonl"
+        bad.write_text(json.dumps({"kind": CELL_KIND}) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            load_artifact(bad)
+
+
+class TestMergeProperties:
+    """The satellite property suite: order-insensitivity and
+    subset-associativity of the artifact merge, against the serial run."""
+
+    def _check(self, merged, serial_sweep):
+        assert merged.complete
+        assert merged.sweep.rows == serial_sweep.rows
+        assert deterministic_view(merged.sweep.telemetry) == deterministic_view(
+            serial_sweep.telemetry
+        )
+
+    @given(perm=st.permutations(list(range(6))))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_order_insensitive(
+        self, perm, singleton_artifacts, serial_sweep
+    ):
+        arts = [singleton_artifacts[i] for i in perm]
+        self._check(merge_artifacts(arts), serial_sweep)
+
+    @given(mask=st.lists(st.booleans(), min_size=6, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_subset_associative(
+        self, mask, singleton_artifacts, serial_sweep, tmp_path_factory
+    ):
+        """merge(merge(A), merge(B)) == merge(A + B) == serial, for any
+        2-colouring of the artifacts into halves A and B."""
+        half_a = [a for a, m in zip(singleton_artifacts, mask) if m]
+        half_b = [a for a, m in zip(singleton_artifacts, mask) if not m]
+        root = tmp_path_factory.mktemp("halves")
+        halves = []
+        for i, half in enumerate((half_a, half_b)):
+            if not half:
+                continue
+            merged_half = merge_artifacts(half)  # partial: cells missing
+            path = write_merged_artifact(
+                merged_half, half, root / f"half{i}.jsonl"
+            )
+            halves.append(path)
+        self._check(merge_artifacts(halves), serial_sweep)
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_duplicate_coverage_is_idempotent(
+        self, data, singleton_artifacts, serial_sweep
+    ):
+        """Merging the same artifact several times changes nothing."""
+        extra = data.draw(
+            st.lists(st.sampled_from(singleton_artifacts), max_size=4)
+        )
+        self._check(
+            merge_artifacts(list(singleton_artifacts) + extra), serial_sweep
+        )
+
+
+class TestMergeValidation:
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError, match="no artifacts"):
+            merge_artifacts([])
+
+    def test_spec_mismatch_rejected(self, singleton_artifacts, tmp_path):
+        other = SweepSpec(
+            protocols=("direct",), lambdas=(4.0,), seeds=(0,), rounds=2
+        )
+        res = run_shard(other, 1, 1, tmp_path / "other.jsonl", serial=True)
+        with pytest.raises(ValueError, match="fingerprint"):
+            merge_artifacts([singleton_artifacts[0], res.path])
+
+    def test_conflicting_rows_rejected(self, singleton_artifacts):
+        art = singleton_artifacts[0]
+        doctored = ShardArtifact(
+            manifest=dict(art.manifest),
+            records=[
+                {**r, "summary": {**r["summary"], "pdr": -1.0}}
+                if r["kind"] == CELL_KIND
+                else r
+                for r in art.records
+            ],
+            path=None,
+        )
+        with pytest.raises(ValueError, match="conflicting"):
+            merge_artifacts([art, doctored])
+
+    def test_foreign_cell_rejected(self, singleton_artifacts):
+        art = singleton_artifacts[0]
+        doctored = ShardArtifact(
+            manifest=dict(art.manifest),
+            records=[
+                {**r, "cell_id": "f" * 16} if r["kind"] == CELL_KIND else r
+                for r in art.records
+            ],
+            path=None,
+        )
+        with pytest.raises(ValueError, match="not in the grid"):
+            merge_artifacts([doctored])
+
+    def test_partial_merge_reports_missing(self, singleton_artifacts):
+        merged = merge_artifacts(singleton_artifacts[:2])
+        assert not merged.complete
+        assert len(merged.missing) == 4
+        assert len(merged.sweep.rows) == 2
+        with pytest.raises(ValueError, match="incomplete"):
+            merged.require_complete()

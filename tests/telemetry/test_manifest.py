@@ -8,8 +8,11 @@ from repro import __version__
 from repro.telemetry import (
     MANIFEST_KIND,
     MANIFEST_SCHEMA,
+    SHARD_MANIFEST_KIND,
     config_fingerprint,
     run_manifest,
+    shard_manifest,
+    stable_fingerprint,
 )
 from tests.conftest import make_config
 
@@ -53,3 +56,48 @@ class TestRunManifest:
     def test_extra_cannot_shadow(self):
         with pytest.raises(ValueError):
             run_manifest(make_config(), "qlec", extra={"seed": 99})
+
+
+class TestStableFingerprint:
+    def test_insensitive_to_key_order(self):
+        assert stable_fingerprint({"a": 1, "b": 2}) == stable_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_sensitive_to_values(self):
+        assert stable_fingerprint({"a": 1}) != stable_fingerprint({"a": 2})
+
+    def test_format(self):
+        fp = stable_fingerprint({"x": [1, 2.5, "s"]})
+        assert len(fp) == 16
+        int(fp, 16)
+
+    def test_config_fingerprint_is_stable_fingerprint(self):
+        import dataclasses
+
+        cfg = make_config()
+        assert config_fingerprint(cfg) == stable_fingerprint(
+            dataclasses.asdict(cfg)
+        )
+
+
+class TestShardManifest:
+    SPEC = {"protocols": ["direct"], "lambdas": [4.0], "seeds": [0]}
+
+    def test_required_fields(self):
+        m = shard_manifest(self.SPEC, stable_fingerprint(self.SPEC), 2, 3)
+        assert m["kind"] == SHARD_MANIFEST_KIND
+        assert m["schema"] == MANIFEST_SCHEMA
+        assert m["version"] == __version__
+        assert (m["shard"], m["num_shards"]) == (2, 3)
+        assert m["spec"] == self.SPEC
+        assert json.loads(json.dumps(m)) == m
+
+    def test_merged_marker_allowed(self):
+        m = shard_manifest(self.SPEC, stable_fingerprint(self.SPEC), 0, 0)
+        assert (m["shard"], m["num_shards"]) == (0, 0)
+
+    @pytest.mark.parametrize("shard,total", [(0, 3), (4, 3), (-1, 1)])
+    def test_out_of_range_rejected(self, shard, total):
+        with pytest.raises(ValueError):
+            shard_manifest(self.SPEC, "ab" * 8, shard, total)

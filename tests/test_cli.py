@@ -104,3 +104,72 @@ class TestNewCommands:
             ["lifespan", "--rounds", "6", "--seeds", "0", "--energy", "0.03"]
         ) == 0
         assert "FND" in capsys.readouterr().out
+
+
+class TestShardCommands:
+    GRID = [
+        "--protocols", "direct", "--lambdas", "4", "8", "--seeds", "0", "1",
+        "--rounds", "2", "--serial",
+    ]
+
+    def _run_shards(self, tmp_path, num_shards):
+        paths = []
+        for k in range(1, num_shards + 1):
+            out = tmp_path / f"s{k}.jsonl"
+            assert main(
+                ["sweep", *self.GRID, "--shard", f"{k}/{num_shards}",
+                 "--out", str(out)]
+            ) == 0
+            paths.append(str(out))
+        return paths
+
+    def test_sweep_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "shard.jsonl"
+        assert main(["sweep", *self.GRID, "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "shard 1/1: 4 of 4 cells" in stdout
+        assert "executed 4, resumed 0, errors 0" in stdout
+        assert out.exists()
+
+    def test_sweep_resume_skips(self, tmp_path, capsys):
+        out = tmp_path / "shard.jsonl"
+        assert main(["sweep", *self.GRID, "--out", str(out)]) == 0
+        assert main(["sweep", *self.GRID, "--out", str(out)]) == 0
+        assert "executed 0, resumed 4" in capsys.readouterr().out
+
+    def test_merge_recovers_grid(self, tmp_path, capsys):
+        paths = self._run_shards(tmp_path, 2)
+        capsys.readouterr()
+        assert main(["merge", *reversed(paths), "--strict"]) == 0
+        stdout = capsys.readouterr().out
+        assert "4 of 4 cells recovered" in stdout
+        assert "direct" in stdout
+
+    def test_merge_strict_fails_on_missing(self, tmp_path, capsys):
+        paths = self._run_shards(tmp_path, 2)
+        assert main(["merge", paths[0], "--strict"]) == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_merge_writes_sweep_json(self, tmp_path):
+        from repro.analysis import load_sweep
+
+        paths = self._run_shards(tmp_path, 2)
+        out = tmp_path / "merged.json"
+        assert main(["merge", *paths, "--out", str(out)]) == 0
+        assert len(load_sweep(out).rows) == 4
+
+    def test_fig3_from_artifacts(self, tmp_path, capsys):
+        grid = [
+            "--protocols", "direct", "kmeans", "--lambdas", "4", "8",
+            "--seeds", "0", "--rounds", "2", "--serial",
+        ]
+        out = tmp_path / "all.jsonl"
+        assert main(["sweep", *grid, "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["fig3", "--from-artifacts", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "Fig. 3(a)" in stdout and "kmeans" in stdout
+
+    def test_sweep_bad_shard_selector(self):
+        with pytest.raises(ValueError):
+            main(["sweep", *self.GRID, "--shard", "3/2"])
