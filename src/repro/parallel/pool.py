@@ -111,13 +111,23 @@ def iter_tasks(
     row to its artifact after every completed cell, so a crash loses at
     most the in-flight cells).  Exhausting the iterator is equivalent
     to :func:`run_tasks`; abandoning it tears the pool down.
+
+    Arguments are validated here, eagerly — a bad ``chunksize`` or
+    ``max_workers`` raises at the call site, not on the first
+    ``next()`` of a generator someone may hold unadvanced for a while.
     """
     tasks = [(fn, tuple(args)) for args in argtuples]
-    if not tasks:
-        return
     if chunksize < 1:
         raise ValueError("chunksize must be >= 1")
-    workers = default_workers(max_workers, n_tasks=len(tasks))
+    workers = default_workers(max_workers, n_tasks=len(tasks) or None)
+    return _iter_tasks(tasks, workers, serial, chunksize)
+
+
+def _iter_tasks(
+    tasks: list[tuple], workers: int, serial: bool, chunksize: int
+) -> Iterator[Any]:
+    if not tasks:
+        return
     if serial or workers == 1 or len(tasks) == 1:
         for t in tasks:
             yield _call(t)

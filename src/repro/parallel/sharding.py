@@ -11,9 +11,11 @@ run on every deterministic metric.
 Identity scheme
 ---------------
 Every grid cell gets a **stable cell ID**: a 16-hex digest of
-``(protocol, lambda, seed, config_fingerprint)``, where the config
-fingerprint covers the complete :class:`~repro.config.SimulationConfig`
-the cell will run.  IDs therefore survive re-enumeration, grid
+``(protocol, lambda, seed, config_fingerprint, stop_on_death)``, where
+the config fingerprint covers the complete
+:class:`~repro.config.SimulationConfig` the cell will run and
+``stop_on_death`` is the one run knob that shapes the result without
+living in the config.  IDs therefore survive re-enumeration, grid
 extension, and host boundaries — and change exactly when the scenario
 a cell would simulate changes.
 
@@ -45,6 +47,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
@@ -54,7 +57,7 @@ from ..telemetry.manifest import (
     shard_manifest,
     stable_fingerprint,
 )
-from ..telemetry.registry import merge_snapshots
+from ..telemetry.registry import deterministic_view, merge_snapshots
 from .pool import fold_results, iter_tasks
 
 __all__ = [
@@ -166,7 +169,9 @@ class SweepSpec:
                             initial_energy=self.initial_energy,
                         )
                     )
-                    out.append(SweepCell.build(p, lam, seed, fp))
+                    out.append(
+                        SweepCell.build(p, lam, seed, fp, self.stop_on_death)
+                    )
         return out
 
     def __len__(self) -> int:
@@ -185,14 +190,24 @@ class SweepCell:
 
     @classmethod
     def build(
-        cls, protocol: str, lam: float, seed: int, config_fingerprint: str
+        cls,
+        protocol: str,
+        lam: float,
+        seed: int,
+        config_fingerprint: str,
+        stop_on_death: bool = False,
     ) -> "SweepCell":
+        # The ID must cover everything that determines the cell's
+        # result: stop_on_death changes run_simulation's outcome but is
+        # not a SimulationConfig field, so it hashes in explicitly —
+        # otherwise a resume after flipping it would reuse stale rows.
         cell_id = stable_fingerprint(
             {
                 "protocol": protocol,
                 "lambda": float(lam),
                 "seed": int(seed),
                 "config_fingerprint": config_fingerprint,
+                "stop_on_death": bool(stop_on_death),
             }
         )
         return cls(protocol, float(lam), int(seed), config_fingerprint, cell_id)
@@ -468,7 +483,13 @@ def run_shard(
 
     out_path.parent.mkdir(parents=True, exist_ok=True)
     records: list[dict] = [retained[c.cell_id] for c in cells if c.cell_id in retained]
-    with open(out_path, "w", encoding="utf-8") as fh:
+    # Rewrite via a sibling temp file + os.replace so a crash mid-rewrite
+    # never truncates away already-computed (retained) rows: the old
+    # artifact survives intact until the manifest and every retained row
+    # are durably on disk.  Newly computed rows then append to the
+    # replaced file, keeping the stream-checkpoint property.
+    tmp_path = out_path.with_name(out_path.name + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as fh:
         fh.write(
             _dump(
                 shard_manifest(
@@ -480,6 +501,9 @@ def run_shard(
         for record in records:
             fh.write(_dump(record) + "\n")
         fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, out_path)
+    with open(out_path, "a", encoding="utf-8") as fh:
         results = iter_tasks(
             _guarded_cell, tasks, max_workers=max_workers, serial=serial
         )
@@ -636,10 +660,15 @@ def merge_artifacts(
             seen = rows_by_id.get(cid)
             if seen is None:
                 rows_by_id[cid] = record
-            elif (seen["summary"], seen.get("telemetry")) != (
-                record["summary"],
-                record.get("telemetry"),
-            ):
+            # Duplicate coverage must agree only on the deterministic
+            # surface: telemetry snapshots carry wall-clock ``time/``
+            # metrics that legitimately differ between two runs of the
+            # same cell, so they are compared through
+            # deterministic_view.  Either row's snapshot serves the
+            # merge (first seen wins).
+            elif seen["summary"] != record["summary"] or deterministic_view(
+                seen.get("telemetry") or {}
+            ) != deterministic_view(record.get("telemetry") or {}):
                 raise ValueError(
                     f"cell {cid} has conflicting rows across artifacts "
                     f"(nondeterministic cell?)"

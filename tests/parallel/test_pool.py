@@ -102,6 +102,18 @@ class TestIterTasks:
     def test_empty(self):
         assert list(iter_tasks(square, [])) == []
 
+    def test_invalid_chunksize_raises_eagerly(self):
+        """Regression: validation must fire at the call, not on the
+        first next() of an unadvanced generator."""
+        with pytest.raises(ValueError):
+            iter_tasks(square, [(1,), (2,)], chunksize=0)
+
+    def test_invalid_max_workers_raises_eagerly(self):
+        with pytest.raises(ValueError):
+            iter_tasks(square, [(1,), (2,)], max_workers=0)
+        with pytest.raises(ValueError):
+            iter_tasks(square, [], max_workers=0)
+
 
 class TestDefaultWorkers:
     def test_explicit_value(self):

@@ -126,10 +126,24 @@ class TestCellIdentity:
             c.cell_id for c in wider.cells()
         }
 
+    def test_id_embeds_stop_on_death(self):
+        """stop_on_death shapes the simulation outcome but is not a
+        SimulationConfig field; it must still move every cell ID."""
+        flipped = SweepSpec(
+            protocols=("direct",), lambdas=(4.0, 8.0), seeds=(0, 1, 2),
+            rounds=2, stop_on_death=True, telemetry=True,
+        )
+        assert {c.cell_id for c in flipped.cells()}.isdisjoint(
+            {c.cell_id for c in SPEC.cells()}
+        )
+
     def test_build_is_pure(self):
-        a = SweepCell.build("direct", 4.0, 0, "ab" * 8)
-        b = SweepCell.build("direct", 4.0, 0, "ab" * 8)
+        a = SweepCell.build("direct", 4.0, 0, "ab" * 8, False)
+        b = SweepCell.build("direct", 4.0, 0, "ab" * 8, False)
         assert a == b
+        assert a.cell_id != SweepCell.build(
+            "direct", 4.0, 0, "ab" * 8, True
+        ).cell_id
 
 
 class TestPartition:
@@ -258,6 +272,72 @@ class TestMergeProperties:
         self._check(
             merge_artifacts(list(singleton_artifacts) + extra), serial_sweep
         )
+
+
+def _with_doctored_telemetry(art, predicate):
+    """Copy ``art`` with every telemetry metric matching ``predicate``
+    numerically perturbed (cell rows and trailer alike)."""
+    def bump(metric):
+        metric = dict(metric)
+        if "value" in metric:
+            metric["value"] = metric["value"] + 1
+        else:
+            metric["total"] = metric["total"] + 1.0
+        return metric
+
+    records = []
+    touched = 0
+    for r in art.records:
+        r = json.loads(json.dumps(r))  # deep copy
+        for key in ("telemetry", "snapshot"):
+            snap = r.get(key)
+            if not snap:
+                continue
+            for name in snap:
+                if predicate(name):
+                    snap[name] = bump(snap[name])
+                    touched += 1
+        records.append(r)
+    assert touched, "expected the predicate to match at least one metric"
+    return ShardArtifact(manifest=dict(art.manifest), records=records, path=None)
+
+
+class TestDuplicateCoverageTelemetry:
+    """Instrumented artifacts covering the same cell legitimately
+    disagree on wall-clock ``time/`` metrics; the merge conflict check
+    must compare only the deterministic view of the snapshots."""
+
+    def test_independent_rerun_overlaps_cleanly(
+        self, singleton_artifacts, serial_sweep, tmp_path
+    ):
+        """A fresh 1/1 artifact (new wall-clock readings) merges with
+        the singleton shards without a spurious conflict."""
+        res = run_shard(SPEC, 1, 1, tmp_path / "whole.jsonl", serial=True)
+        merged = merge_artifacts(
+            [res.path, *singleton_artifacts]
+        ).require_complete()
+        assert merged.sweep.rows == serial_sweep.rows
+        assert deterministic_view(merged.sweep.telemetry) == deterministic_view(
+            serial_sweep.telemetry
+        )
+
+    def test_wallclock_difference_is_not_a_conflict(self, singleton_artifacts):
+        art = singleton_artifacts[0]
+        doctored = _with_doctored_telemetry(
+            art, lambda name: name.startswith("time/")
+        )
+        merged = merge_artifacts([art, doctored])
+        assert len(merged.sweep.rows) == 1
+
+    def test_deterministic_telemetry_difference_still_conflicts(
+        self, singleton_artifacts
+    ):
+        art = singleton_artifacts[0]
+        doctored = _with_doctored_telemetry(
+            art, lambda name: not name.startswith("time/")
+        )
+        with pytest.raises(ValueError, match="conflicting"):
+            merge_artifacts([art, doctored])
 
 
 class TestMergeValidation:

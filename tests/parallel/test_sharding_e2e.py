@@ -105,6 +105,29 @@ class TestResume:
         merged = merge_artifacts([result.path]).require_complete()
         assert merged.sweep.rows == serial_sweep.rows
 
+    def test_crash_during_resume_preserves_retained_rows(self, tmp_path):
+        """The rewrite is atomic (temp file + os.replace): a crash
+        while the resumed run is simulating must not lose the rows
+        that were already on disk."""
+        result = run_shard(SPEC, 1, 1, tmp_path / "shard.jsonl", serial=True)
+        lines = result.path.read_text().splitlines()
+        result.path.write_text("\n".join(lines[:-3]) + "\n")
+        kept = {json.loads(line)["cell_id"] for line in lines[1:-3]}
+        lost = {json.loads(line)["cell_id"] for line in lines[-3:-1]}
+
+        with pytest.raises(KeyboardInterrupt):
+            run_shard(
+                SPEC, 1, 1, result.path,
+                serial=True, cell_fn=_interrupting_cell,
+            )
+        art = load_artifact(result.path)
+        assert {r["cell_id"] for r in art.cell_rows} == kept
+        assert not list(tmp_path.glob("*.tmp"))
+
+        healed = run_shard(SPEC, 1, 1, result.path, serial=True)
+        assert set(healed.executed) == lost
+        merge_artifacts([result.path]).require_complete()
+
     def test_no_resume_flag_recomputes_everything(self, tmp_path):
         path = tmp_path / "shard.jsonl"
         run_shard(SPEC, 1, 1, path, serial=True)
@@ -137,6 +160,31 @@ class TestResume:
         }
         assert art.manifest["spec_fingerprint"] == changed.fingerprint
 
+    def test_stop_on_death_change_invalidates_rows(self, tmp_path):
+        """stop_on_death lives outside SimulationConfig (it is a
+        run_simulation kwarg), yet flipping it changes the run's
+        outcome: resume must recompute every cell, never reuse rows
+        computed under the other setting."""
+        path = tmp_path / "shard.jsonl"
+        run_shard(SPEC, 1, 1, path, serial=True)
+        flipped = SweepSpec(
+            protocols=SPEC.protocols,
+            lambdas=SPEC.lambdas,
+            seeds=SPEC.seeds,
+            initial_energy=SPEC.initial_energy,
+            rounds=SPEC.rounds,
+            stop_on_death=True,
+            telemetry=True,
+        )
+        resumed = run_shard(flipped, 1, 1, path, serial=True)
+        assert len(resumed.executed) == len(flipped)
+        assert resumed.skipped == []
+        art = load_artifact(path)
+        assert {r["cell_id"] for r in art.cell_rows} == {
+            c.cell_id for c in flipped.cells()
+        }
+        assert art.manifest["spec_fingerprint"] == flipped.fingerprint
+
     def test_uninstrumented_rows_not_reused_for_instrumented_spec(
         self, tmp_path
     ):
@@ -150,6 +198,12 @@ class TestResume:
         assert len(resumed.executed) == len(SPEC)
         merged = merge_artifacts([path]).require_complete()
         assert merged.sweep.telemetry is not None
+
+
+def _interrupting_cell(*args):
+    """Stand-in for a hard crash (SIGINT) mid-shard: _guarded_cell
+    absorbs Exception but BaseException rips through run_shard."""
+    raise KeyboardInterrupt
 
 
 # --- failure injection ------------------------------------------------------
