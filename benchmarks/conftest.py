@@ -10,6 +10,7 @@ not micro-benchmarks (micro-benchmarks of the hot kernels live in
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -20,3 +21,17 @@ def publish(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def publish_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable result to benchmarks/results/BENCH_<name>.json.
+
+    The ASCII reports from :func:`publish` are for humans; this is the
+    companion artifact for tooling (CI comparisons, regression diffs).
+    Payloads must be JSON-serialisable as written — no coercion.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
+    return path

@@ -39,6 +39,8 @@ MANIFEST_KEYS = {
     "n_nodes": int,
     "rounds": int,
     "mean_interarrival": (int, float),
+    "backend": str,
+    "backend_versions": dict,
 }
 
 #: Key -> required type(s) of every field shard_manifest() always emits.
@@ -61,6 +63,7 @@ CELL_KEYS = {
     "lambda": (int, float),
     "seed": int,
     "config_fingerprint": str,
+    "backend": str,
     "attempts": int,
 }
 
@@ -84,6 +87,10 @@ def check_manifest(obj: dict, where: str) -> list[str]:
     fp = obj.get("config_fingerprint", "")
     if not re.fullmatch(r"[0-9a-f]{16}", fp):
         errors.append(f"{where}: config_fingerprint {fp!r} is not 16 hex digits")
+    if obj.get("backend") == "auto":
+        errors.append(
+            f"{where}: manifest backend must be a resolved name, not 'auto'"
+        )
     return errors
 
 

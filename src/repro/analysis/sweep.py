@@ -8,6 +8,7 @@ protocol object; nothing stateful crosses the process boundary).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -26,6 +27,7 @@ from ..baselines import (
 from ..baselines.base import ClusteringProtocol
 from ..config import paper_config
 from ..core import QLECProtocol
+from ..kernels import resolve_backend_name
 from ..parallel import SweepSpec, fold_results, run_tasks
 from ..simulation import run_simulation
 from ..telemetry import Telemetry, merge_snapshots
@@ -62,6 +64,7 @@ def run_cell(
     rounds: int = 20,
     stop_on_death: bool = False,
     telemetry: bool = False,
+    backend: str = "auto",
 ) -> dict:
     """One sweep cell: build the Table-2 scenario and run one protocol.
 
@@ -70,14 +73,23 @@ def run_cell(
     ``telemetry=True`` the summary additionally carries the cell's
     metric snapshot under ``"telemetry"`` (a plain JSON-able dict — the
     picklable per-worker half of the sweep-level merge).
+
+    ``backend`` selects the kernel backend; the *resolved* name is
+    written into the cell's config before running, so the config
+    fingerprint (and hence the sharding cell ID) pins the concrete
+    backend — a resumed or merged artifact can never silently mix
+    backends with different availability.
     """
     if protocol not in PROTOCOLS:
         raise KeyError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
-    config = paper_config(
-        mean_interarrival=mean_interarrival,
-        seed=seed,
-        rounds=rounds,
-        initial_energy=initial_energy,
+    config = dataclasses.replace(
+        paper_config(
+            mean_interarrival=mean_interarrival,
+            seed=seed,
+            rounds=rounds,
+            initial_energy=initial_energy,
+        ),
+        backend=resolve_backend_name(backend),
     )
     tel = Telemetry() if telemetry else None
     result = run_simulation(
@@ -148,6 +160,7 @@ def sweep_protocols(
     max_workers: int | None = None,
     serial: bool = False,
     telemetry: bool = False,
+    backend: str = "auto",
 ) -> SweepResult:
     """Run the full (protocol x lambda x seed) grid in parallel.
 
@@ -168,6 +181,7 @@ def sweep_protocols(
         rounds=rounds,
         stop_on_death=stop_on_death,
         telemetry=telemetry,
+        backend=backend,
     )
     return sweep_from_spec(spec, max_workers=max_workers, serial=serial)
 

@@ -25,6 +25,16 @@ import sys
 __all__ = ["main", "build_parser"]
 
 
+def _add_backend_arg(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--backend", type=str, default="auto",
+        choices=("auto", "numpy", "numba"),
+        help="kernel backend for the batched slot pipeline; 'auto' "
+             "prefers the compiled backend and falls back to the numpy "
+             "reference (all backends are bit-identical)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -38,6 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mean packet inter-arrival (congestion level)")
     quick.add_argument("--telemetry", action="store_true",
                        help="print the per-phase time/energy/drop breakdown")
+    _add_backend_arg(quick)
 
     fig3 = sub.add_parser("fig3", help="regenerate Fig. 3 (a)-(c)")
     fig3.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
@@ -51,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="PATH",
                       help="aggregate pre-run shard artifacts instead of "
                            "simulating (see 'repro sweep' / 'repro merge')")
+    _add_backend_arg(fig3)
 
     swp = sub.add_parser(
         "sweep", help="run one shard of a sweep grid into a JSONL artifact"
@@ -78,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--telemetry", action="store_true",
                      help="instrument every cell; snapshots ride in the "
                           "artifact and merge across shards")
+    _add_backend_arg(swp)
 
     mrg = sub.add_parser(
         "merge", help="fold shard artifacts back into one sweep"
@@ -103,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also run FCM and k-means on the same network")
     fig4.add_argument("--csv", type=str, default=None,
                       help="path to a real Global Power Plant Database CSV")
+    _add_backend_arg(fig4)
 
     sub.add_parser("kopt", help="Theorem 1 validation")
     sub.add_parser("complexity", help="O(RN) / O(kX) measurements")
@@ -130,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the ASCII network layout")
     scen.add_argument("--telemetry", action="store_true",
                       help="print the per-phase time/energy/drop breakdown")
+    _add_backend_arg(scen)
 
     rep = sub.add_parser("report", help="run everything, write REPORT.md")
     rep.add_argument("--out", type=str, default="REPORT.md")
@@ -146,7 +161,10 @@ def _cmd_quickstart(args) -> int:
     from .telemetry import merge_snapshots
 
     rows = [
-        run_cell(name, args.lam, args.seed, telemetry=args.telemetry)
+        run_cell(
+            name, args.lam, args.seed,
+            telemetry=args.telemetry, backend=args.backend,
+        )
         for name in ("qlec", "fcm", "kmeans", "deec", "leach", "direct")
     ]
     snaps = [row.pop("telemetry", None) for row in rows]
@@ -172,6 +190,7 @@ def _cmd_fig3(args) -> int:
                 seeds=tuple(args.seeds),
                 serial=args.serial,
                 telemetry=args.telemetry,
+                backend=args.backend,
             )
         )
     print(result.render())
@@ -192,6 +211,7 @@ def _cmd_fig4(args) -> int:
             seed=args.seed,
             dataset_path=args.csv,
             compare=("fcm", "kmeans") if args.compare else (),
+            backend=args.backend,
         )
     )
     print(report.render())
@@ -285,7 +305,8 @@ def _cmd_scenario(args) -> int:
     config, nodes, bs = build_scenario(args.name, seed=args.seed)
     tel = Telemetry() if args.telemetry else None
     engine = SimulationEngine(
-        config, PROTOCOLS[args.protocol](), nodes=nodes, bs=bs, telemetry=tel
+        config, PROTOCOLS[args.protocol](), nodes=nodes, bs=bs,
+        telemetry=tel, backend=args.backend,
     )
     result = engine.run()
     if args.layout:
@@ -314,6 +335,7 @@ def _cmd_sweep(args) -> int:
         initial_energy=args.energy,
         rounds=args.rounds,
         telemetry=args.telemetry,
+        backend=args.backend,
     )
     out = args.out or f"sweep-shard-{shard}of{num_shards}.jsonl"
     result = run_shard(
@@ -394,7 +416,16 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    from .kernels import BackendUnavailableError
+
+    try:
+        return _COMMANDS[args.command](args)
+    except BackendUnavailableError as exc:
+        # An explicitly requested backend the host cannot provide is a
+        # usage error, not a crash: say what is missing and how to
+        # proceed, exit distinctly.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -263,6 +263,14 @@ class SimulationConfig:
     #: (its service ratio is effectively broadcast); False keeps the
     #: classical private per-pair estimate.
     estimator_shared: bool = True
+    #: Kernel backend selector for the batched slot pipeline: "auto"
+    #: (numba when installed, else the numpy reference), "numpy",
+    #: "numba", or any name registered via
+    #: :func:`repro.kernels.register_backend`.  Every backend is
+    #: bit-identical by contract, so this changes wall-clock only —
+    #: but the *resolved* name is part of run identity (manifests,
+    #: sharding cell IDs) and therefore of the config fingerprint.
+    backend: str = "auto"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -280,6 +288,10 @@ class SimulationConfig:
             raise ValueError("max_retries must be >= 0")
         if self.max_hops < 1:
             raise ValueError("max_hops must be >= 1")
+        # Free-form beyond the built-ins so registered third-party
+        # backends work; resolution validates against the registry.
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError("backend must be a non-empty selector string")
 
     def replace(self, **changes) -> "SimulationConfig":
         """Return a copy with ``changes`` applied (nested keys allowed

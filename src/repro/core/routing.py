@@ -80,6 +80,9 @@ class QRouter:
         else:
             self.policy = GreedyPolicy()
         self.v = VTable(state.n)
+        #: Kernel backend for the batched Q block (shared with every
+        #: substrate of the state; bit-identical across backends).
+        self.kernels = state.kernels
         #: Number of Q evaluations performed (the per-call k+1 of
         #: Lemma 3); together with ``v.update_count`` this measures X.
         self.q_evaluations = 0
@@ -131,31 +134,64 @@ class QRouter:
             self.v[node] = old + self.learning_rate * (v_new - old)
         return int(targets[self.policy.select(q, rng)])
 
+    def _q_block(
+        self, nodes: np.ndarray, heads: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched Q block + fused row max on the kernel backend.
+
+        Returns ``(q, v_new, targets)``.  Row i of ``q`` is bitwise
+        identical to ``q_values(nodes[i], heads)[0]``: the distances,
+        the transcendental cost ``y`` (the radio's ``d**4``) and the
+        residual normalisations are computed by the same shared numpy
+        code as the scalar path, and the backend's ``expected_q``
+        combine preserves the reference's per-element expression tree
+        exactly (see :mod:`repro.kernels.base`).
+        """
+        st = self.state
+        targets = self.action_targets(heads)
+        nodes = np.asarray(nodes, dtype=np.intp)
+        distances = st.distances_matrix(nodes, targets)
+        p = np.asarray(
+            st.link_estimator.estimates[np.ix_(nodes, targets)],
+            dtype=np.float64,
+        )
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise ValueError("success probabilities must lie in [0, 1]")
+        is_bs = targets == st.bs_index
+        e_dst = np.where(
+            is_bs, 0.0, st.ledger.residual[np.where(is_bs, 0, targets)]
+        )
+        c = self.rewards.cfg
+        q, v_new = self.kernels.expected_q(
+            p,
+            self.rewards.y(distances),
+            self.rewards.x(st.ledger.residual[nodes]),
+            self.rewards.x(e_dst),
+            is_bs,
+            self.v.get_many(targets),
+            self.v.get_many(nodes),
+            g=c.g,
+            alpha1=c.alpha1,
+            alpha2=c.alpha2,
+            beta1=c.beta1,
+            beta2=c.beta2,
+            bs_penalty=c.bs_penalty,
+            gamma=self.cfg.gamma,
+        )
+        self.q_evaluations += q.size
+        return q, v_new, targets
+
     def q_values_many(
         self, nodes: np.ndarray, heads: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched :meth:`q_values`: the ``(len(nodes), k+1)`` Q block.
 
         Row i is bitwise identical to ``q_values(nodes[i], heads)[0]``:
-        every term is an elementwise numpy op, so evaluating senders
-        together changes nothing but wall-clock.
+        every term is an elementwise op evaluated in the scalar path's
+        order, so evaluating senders together (on any kernel backend)
+        changes nothing but wall-clock.
         """
-        st = self.state
-        targets = self.action_targets(heads)
-        nodes = np.asarray(nodes, dtype=np.intp)
-        distances = st.distances_matrix(nodes, targets)
-        p = st.link_estimator.estimates[np.ix_(nodes, targets)]
-        is_bs = targets == st.bs_index
-        e_dst = np.where(
-            is_bs, 0.0, st.ledger.residual[np.where(is_bs, 0, targets)]
-        )
-        r_t = self.rewards.expected_reward(
-            p, st.ledger.residual[nodes][:, None], e_dst, distances, is_bs
-        )
-        v_targets = self.v.get_many(targets)
-        v_self = self.v.get_many(nodes)[:, None]
-        q = r_t + self.cfg.gamma * (p * v_targets + (1.0 - p) * v_self)
-        self.q_evaluations += q.size
+        q, _, targets = self._q_block(nodes, heads)
         return q, targets
 
     def choose_many(
@@ -176,8 +212,7 @@ class QRouter:
         heads = np.asarray(heads, dtype=np.intp)
         if heads.size == 0:
             return np.full(nodes.size, self.state.bs_index, dtype=np.intp)
-        q, targets = self.q_values_many(nodes, heads)
-        v_new = q.max(axis=1)
+        q, v_new, targets = self._q_block(nodes, heads)
         if self.learning_rate is None:
             self.v.set_many(nodes, v_new)
         else:

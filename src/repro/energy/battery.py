@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import KernelBackend, default_backend
+
 __all__ = ["EnergyLedger"]
 
 
@@ -31,9 +33,17 @@ class EnergyLedger:
         experiment) are supported directly.
     death_line:
         Residual energy at or below which a node counts as dead.
+    kernels:
+        Kernel backend for the batched discharge path (defaults to the
+        numpy reference); every backend is bit-identical by contract.
     """
 
-    def __init__(self, initial: np.ndarray, death_line: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial: np.ndarray,
+        death_line: float = 0.0,
+        kernels: KernelBackend | None = None,
+    ) -> None:
         initial = np.asarray(initial, dtype=np.float64)
         if initial.ndim != 1 or initial.size == 0:
             raise ValueError("initial must be a non-empty 1-D array")
@@ -47,6 +57,7 @@ class EnergyLedger:
         self._residual = initial.copy()
         self._death_line = float(death_line)
         self._alive = np.ones(initial.size, dtype=bool)
+        self.kernels = kernels if kernels is not None else default_backend()
         #: Cumulative spend per consumption category, for reporting.
         self.spent_tx = 0.0
         self.spent_rx = 0.0
@@ -182,6 +193,10 @@ class EnergyLedger:
         semantics because all charges of one call share a category and
         land atomically.  A plain fancy-indexed subtraction would be
         last-write-wins and silently undercharge — hence this method.
+
+        The fold/floor/death pass runs on the configured kernel backend
+        (``self.kernels``); the per-category total is summed here with
+        numpy so the pairwise reduction matches the reference exactly.
         """
         idx = np.atleast_1d(np.asarray(idx))
         if idx.dtype == bool:
@@ -191,22 +206,15 @@ class EnergyLedger:
         )
         if np.any(amounts < 0.0):
             raise ValueError("discharge amount must be non-negative")
+        if category not in ("tx", "rx", "da"):
+            raise ValueError(f"unknown energy category {category!r}")
         if idx.size == 0:
             return
-        uniq, inverse = np.unique(idx, return_inverse=True)
-        agg = np.bincount(inverse, weights=amounts, minlength=uniq.size)
-        live = self._alive[uniq]
-        uniq = uniq[live]
-        agg = agg[live]
-        if uniq.size == 0:
-            return
-        before = self._residual[uniq]
-        after = np.maximum(before - agg, 0.0)
-        self._charge_category(category, float((before - after).sum()))
-        self._residual[uniq] = after
-        newly_dead = uniq[after <= self._death_line]
-        if newly_dead.size:
-            self._alive[newly_dead] = False
+        delta = self.kernels.grouped_discharge(
+            self._residual, self._alive, idx, amounts, self._death_line
+        )
+        if delta.size:
+            self._charge_category(category, float(delta.sum()))
 
     def recharge(self, amount, revive: bool = True) -> float:
         """Credit harvested energy, capped at each node's initial

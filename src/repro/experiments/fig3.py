@@ -54,6 +54,8 @@ class Fig3Config:
     #: Instrument every cell and keep the merged metric snapshot on
     #: ``Fig3Result.telemetry``.
     telemetry: bool = False
+    #: Kernel-backend selector for every cell (``auto``/``numpy``/...).
+    backend: str = "auto"
 
 
 @dataclass
@@ -129,6 +131,7 @@ def run_fig3(
             serial=cfg.serial,
             max_workers=cfg.max_workers,
             telemetry=cfg.telemetry,
+            backend=cfg.backend,
         )
     lams = list(cfg.lambdas)
     return Fig3Result(

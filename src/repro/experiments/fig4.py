@@ -58,6 +58,9 @@ class Fig4Config:
     #: Baselines to run on the identical network for the relative
     #: evenness comparison ("qlec" always runs).
     compare: tuple[str, ...] = ()
+    #: Kernel-backend selector (``auto``/``numpy``/...); the large grid
+    #: is where a compiled backend pays off most.
+    backend: str = "auto"
 
 
 @dataclass
@@ -133,6 +136,7 @@ def run_fig4(config: Fig4Config | None = None) -> Fig4Report:
         rounds=cfg.rounds,
         n_clusters=cfg.n_clusters,
         seed=cfg.seed,
+        backend=cfg.backend,
     )
     def run_protocol(protocol: ClusteringProtocol) -> SimulationResult:
         return run_simulation(

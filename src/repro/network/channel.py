@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..energy.radio import FirstOrderRadio
+from ..kernels import KernelBackend, default_backend
 
 __all__ = ["delivery_probability", "Channel", "LinkEstimator"]
 
@@ -83,6 +84,7 @@ class LinkEstimator:
         alpha: float = 0.2,
         initial: float = 1.0,
         shared: bool = False,
+        kernels: KernelBackend | None = None,
     ) -> None:
         if n_nodes < 1 or n_targets < 1:
             raise ValueError("n_nodes and n_targets must be >= 1")
@@ -91,6 +93,12 @@ class LinkEstimator:
         if not 0.0 <= initial <= 1.0:
             raise ValueError("initial must lie in [0, 1]")
         self.alpha = alpha
+        self.kernels = kernels if kernels is not None else default_backend()
+        #: Cached decay powers ``(1-a)^k`` for the batched fold, grown
+        #: on demand; built with numpy's ``power`` on integer exponents
+        #: so ``_pow_table[k] == (1-a)**k`` bitwise (the table is what
+        #: compiled backends read instead of calling ``pow``).
+        self._pow_table = np.power(1.0 - alpha, np.arange(1))
         #: When True, an ACK outcome updates every sender's estimate of
         #: that target (the target's service ratio is effectively
         #: broadcast, e.g. piggybacked on its HELLO/ACK traffic).  This
@@ -155,51 +163,34 @@ class LinkEstimator:
 
         applied in the order given.  Shared mode folds the same way
         per target *column* (the engine's canonical sorted sender
-        order).
+        order).  The fold itself runs on the configured kernel backend
+        (``self.kernels``); all backends are bit-identical to the numpy
+        reference (:class:`repro.kernels.NumpyBackend` holds the
+        defining implementation).
         """
         nodes = np.asarray(nodes, dtype=np.intp)
         targets = np.asarray(targets, dtype=np.intp)
         obs = np.asarray(successes, dtype=np.float64)
         if nodes.size == 0:
             return
-        a = self.alpha
+        table = self._decay_table(nodes.size + 1)
         if not self.shared:
-            key = nodes * self._est.shape[1] + targets
-            uniq_k, pair_counts = np.unique(key, return_counts=True)
-            if uniq_k.size == key.size:
-                self._est[nodes, targets] += a * (obs - self._est[nodes, targets])
-                return
-            order = np.argsort(key, kind="stable")
-            obs_s = obs[order]
-            starts = np.cumsum(pair_counts) - pair_counts
-            j = np.arange(key.size, dtype=np.int64) - np.repeat(starts, pair_counts)
-            decay_exp = np.repeat(pair_counts, pair_counts) - 1 - j
-            contrib = a * obs_s * (1.0 - a) ** decay_exp
-            group = np.repeat(np.arange(uniq_k.size), pair_counts)
-            weighted = np.bincount(group, weights=contrib, minlength=uniq_k.size)
-            un = uniq_k // self._est.shape[1]
-            ut = uniq_k % self._est.shape[1]
-            vals = self._est[un, ut] * (1.0 - a) ** pair_counts + weighted
-            np.clip(vals, 0.0, 1.0, out=vals)
-            self._est[un, ut] = vals
+            self.kernels.ewma_fold_pairs(
+                self._est, nodes, targets, obs, self.alpha, table
+            )
             return
-        order = np.argsort(targets, kind="stable")
-        t = targets[order]
-        obs = obs[order]
-        uniq, counts = np.unique(t, return_counts=True)
-        # Position of each outcome within its target group (0-based).
-        starts = np.cumsum(counts) - counts
-        j = np.arange(t.size, dtype=np.int64) - np.repeat(starts, counts)
-        decay_exp = np.repeat(counts, counts) - 1 - j
-        contrib = a * obs * (1.0 - a) ** decay_exp
-        group = np.repeat(np.arange(uniq.size), counts)
-        weighted = np.bincount(group, weights=contrib, minlength=uniq.size)
-        vals = self._shared_row[uniq] * (1.0 - a) ** counts + weighted
-        # The exact value is a convex combination of est and the obs,
-        # hence in [0, 1]; the folded product/sum can overshoot by ulps
-        # where the sequential form cannot, so shave the drift.
-        np.clip(vals, 0.0, 1.0, out=vals)
-        self._shared_row[uniq] = vals
+        self.kernels.ewma_fold_shared(
+            self._shared_row, targets, obs, self.alpha, table
+        )
+
+    def _decay_table(self, size: int) -> np.ndarray:
+        """Decay powers ``(1-a)^k`` for ``k < size`` (cached, grown
+        monotonically).  Entry k is bitwise equal to ``(1.0-a) ** k``
+        because it is produced by the same ufunc on the same integer
+        exponent."""
+        if self._pow_table.size < size:
+            self._pow_table = np.power(1.0 - self.alpha, np.arange(size))
+        return self._pow_table
 
 
 class Channel:
@@ -217,11 +208,13 @@ class Channel:
         floor: float = 0.05,
         sharpness: float = 2.0,
         blackout: bool = False,
+        kernels: KernelBackend | None = None,
     ) -> None:
         self.radio = radio
         self.rng = rng
         self.floor = floor
         self.sharpness = sharpness
+        self.kernels = kernels if kernels is not None else default_backend()
         #: Failure-injection switch: when True every transmission fails
         #: (used by fault tests; never enabled in experiments).
         self.blackout = blackout
@@ -261,14 +254,16 @@ class Channel:
 
         Consumes exactly ``distances.size`` uniforms in element order,
         so a batched attempt and the equivalent sequence of scalar
-        :meth:`attempt` calls read the same generator stream.
+        :meth:`attempt` calls read the same generator stream.  The
+        uniforms are always drawn here (stream determinism is never a
+        backend concern); the backend supplies only the compare.
         """
         distances = np.asarray(distances, dtype=np.float64)
         if self.blackout:
             out = np.zeros(distances.shape, dtype=bool)
         else:
             p = self.success_probability(distances)
-            out = self.rng.random(distances.shape) < p
+            out = self.kernels.bernoulli(p, self.rng.random(distances.shape))
         if self._tel_attempts is not None:
             self._tel_attempts.add(out.size)
             self._tel_acks.add(int(out.sum()))

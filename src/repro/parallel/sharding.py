@@ -11,13 +11,15 @@ run on every deterministic metric.
 Identity scheme
 ---------------
 Every grid cell gets a **stable cell ID**: a 16-hex digest of
-``(protocol, lambda, seed, config_fingerprint, stop_on_death)``, where
-the config fingerprint covers the complete
-:class:`~repro.config.SimulationConfig` the cell will run and
+``(protocol, lambda, seed, config_fingerprint, stop_on_death,
+backend)``, where the config fingerprint covers the complete
+:class:`~repro.config.SimulationConfig` the cell will run,
 ``stop_on_death`` is the one run knob that shapes the result without
-living in the config.  IDs therefore survive re-enumeration, grid
-extension, and host boundaries — and change exactly when the scenario
-a cell would simulate changes.
+living in the config, and ``backend`` is the *resolved* kernel-backend
+name (never ``"auto"``) so artifacts carry their numeric provenance.
+IDs therefore survive re-enumeration, grid extension, and host
+boundaries — and change exactly when the scenario a cell would
+simulate (or the backend it would run on) changes.
 
 Shard assignment ranks cells by their ID and deals them round-robin:
 ``shard(cell) = rank(cell_id) mod K``.  That keeps shards balanced
@@ -105,6 +107,12 @@ class SweepSpec:
     rounds: int = 20
     stop_on_death: bool = False
     telemetry: bool = False
+    #: Kernel-backend selector for every cell.  The payload (and hence
+    #: the spec fingerprint) keeps the selector as written — the user's
+    #: intent — while cell identity uses the *resolved* name (see
+    #: :meth:`cells`), so ``"auto"`` specs resumed on hosts that resolve
+    #: differently recompute rather than reuse foreign-backend rows.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocols", tuple(self.protocols))
@@ -114,6 +122,8 @@ class SweepSpec:
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         if not (self.protocols and self.lambdas and self.seeds):
             raise ValueError("sweep spec needs >= 1 protocol, lambda, and seed")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError("backend must be a non-empty selector string")
 
     # -- serialisation -------------------------------------------------
     def to_payload(self) -> dict:
@@ -146,31 +156,55 @@ class SweepSpec:
                 self.rounds,
                 self.stop_on_death,
                 self.telemetry,
+                self.backend,
             )
             for p in self.protocols
             for lam in self.lambdas
             for seed in self.seeds
         ]
 
+    def resolved_backend(self) -> str:
+        """The concrete backend name this host would run the cells on
+        (``"auto"`` resolved by availability; never ``"auto"`` itself)."""
+        from ..kernels import resolve_backend_name
+
+        return resolve_backend_name(self.backend)
+
     def cells(self) -> list["SweepCell"]:
-        """Enumerate the grid with stable identities, in canonical order."""
+        """Enumerate the grid with stable identities, in canonical order.
+
+        Cell identity pins the *resolved* backend name — mirroring what
+        :func:`repro.analysis.sweep.run_cell` writes into the cell's
+        config — so rows computed under one backend are never reused or
+        merged as another's (the ``stop_on_death`` lesson, applied to
+        the one knob that varies by *host capability* rather than by
+        spec value).
+        """
+        import dataclasses as _dc
+
         from ..config import paper_config
         from ..telemetry.manifest import config_fingerprint
 
+        backend = self.resolved_backend()
         out = []
         for p in self.protocols:
             for lam in self.lambdas:
                 for seed in self.seeds:
                     fp = config_fingerprint(
-                        paper_config(
-                            mean_interarrival=lam,
-                            seed=seed,
-                            rounds=self.rounds,
-                            initial_energy=self.initial_energy,
+                        _dc.replace(
+                            paper_config(
+                                mean_interarrival=lam,
+                                seed=seed,
+                                rounds=self.rounds,
+                                initial_energy=self.initial_energy,
+                            ),
+                            backend=backend,
                         )
                     )
                     out.append(
-                        SweepCell.build(p, lam, seed, fp, self.stop_on_death)
+                        SweepCell.build(
+                            p, lam, seed, fp, self.stop_on_death, backend
+                        )
                     )
         return out
 
@@ -187,6 +221,7 @@ class SweepCell:
     seed: int
     config_fingerprint: str
     cell_id: str
+    backend: str = "numpy"
 
     @classmethod
     def build(
@@ -196,11 +231,15 @@ class SweepCell:
         seed: int,
         config_fingerprint: str,
         stop_on_death: bool = False,
+        backend: str = "numpy",
     ) -> "SweepCell":
         # The ID must cover everything that determines the cell's
         # result: stop_on_death changes run_simulation's outcome but is
         # not a SimulationConfig field, so it hashes in explicitly —
         # otherwise a resume after flipping it would reuse stale rows.
+        # The resolved backend also hashes in explicitly (besides
+        # living in the config fingerprint): provenance must survive
+        # even for callers fingerprinting configs without the field.
         cell_id = stable_fingerprint(
             {
                 "protocol": protocol,
@@ -208,9 +247,13 @@ class SweepCell:
                 "seed": int(seed),
                 "config_fingerprint": config_fingerprint,
                 "stop_on_death": bool(stop_on_death),
+                "backend": str(backend),
             }
         )
-        return cls(protocol, float(lam), int(seed), config_fingerprint, cell_id)
+        return cls(
+            protocol, float(lam), int(seed), config_fingerprint, cell_id,
+            str(backend),
+        )
 
 
 def partition_cells(
@@ -265,6 +308,7 @@ def _default_cell_fn(
     rounds: int,
     stop_on_death: bool,
     telemetry: bool,
+    backend: str = "auto",
 ):
     # Deferred import keeps repro.parallel free of an import cycle with
     # repro.analysis (which imports this package at module scope).
@@ -278,6 +322,7 @@ def _default_cell_fn(
         rounds=rounds,
         stop_on_death=stop_on_death,
         telemetry=telemetry,
+        backend=backend,
     )
 
 
@@ -345,6 +390,7 @@ def _cell_record(cell: SweepCell, summary: dict, attempts: int) -> dict:
         "lambda": cell.lam,
         "seed": cell.seed,
         "config_fingerprint": cell.config_fingerprint,
+        "backend": cell.backend,
         "attempts": attempts,
         "summary": _jsonable(summary),
     }
@@ -361,6 +407,7 @@ def _error_record(cell: SweepCell, error: dict, attempts: int) -> dict:
         "lambda": cell.lam,
         "seed": cell.seed,
         "config_fingerprint": cell.config_fingerprint,
+        "backend": cell.backend,
         "attempts": attempts,
         "error": dict(error),
     }
@@ -475,6 +522,10 @@ def run_shard(
                 spec.rounds,
                 spec.stop_on_death,
                 spec.telemetry,
+                # The cell's *resolved* backend, not the spec selector:
+                # the worker must produce exactly the fingerprint the
+                # cell ID pinned at enumeration time.
+                c.backend,
             ),
             retries,
         )

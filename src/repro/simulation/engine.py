@@ -55,6 +55,7 @@ from ..config import SimulationConfig
 
 if TYPE_CHECKING:  # avoid a runtime cycle with baselines.base
     from ..baselines.base import ClusteringProtocol
+from ..kernels import KernelBackend, resolve_backend
 from ..network.node import BaseStation, NodeArray
 from ..network.packet import PacketArena, PacketStats, PacketStatus
 from ..network.queueing import QueueBank, SourceBuffers
@@ -98,6 +99,13 @@ class SimulationEngine:
         per-sender ``choose_relay`` loop — the reference path the
         micro-benchmarks time the kernel against; both paths produce
         bit-identical results.
+    backend:
+        Kernel backend selector for the batched array stages — a name
+        (``"auto"``/``"numpy"``/``"numba"`` or any registered backend)
+        or an already-resolved :class:`~repro.kernels.KernelBackend`.
+        ``None`` (default) defers to ``config.backend``.  Backends are
+        bit-identical by contract; the resolved name is recorded in the
+        run manifest.
     telemetry:
         An optional :class:`~repro.telemetry.Telemetry` handle.  When
         given, every stage of the slot pipeline is wall-clock
@@ -121,13 +129,22 @@ class SimulationEngine:
         stop_on_death: bool = False,
         trace: TraceRecorder | None = None,
         batched: bool = True,
+        backend: str | KernelBackend | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
         self.protocol = protocol
         self.telemetry = telemetry if telemetry is not None else NULL
+        self.kernels = resolve_backend(
+            backend if backend is not None else config.backend
+        )
         self.state = NetworkState(
-            config, nodes=nodes, bs=bs, rng=rng, initial_energy=initial_energy
+            config,
+            nodes=nodes,
+            bs=bs,
+            rng=rng,
+            initial_energy=initial_energy,
+            kernels=self.kernels,
         )
         self.traffic = PoissonTraffic(
             config.traffic, self.state.n, self.state.traffic_rng
@@ -161,7 +178,9 @@ class SimulationEngine:
         #: telemetry snapshot (built lazily only when someone records).
         self.manifest: dict | None = None
         if self.trace is not None or self.telemetry.enabled:
-            self.manifest = run_manifest(config, protocol.name)
+            self.manifest = run_manifest(
+                config, protocol.name, backend=self.kernels.name
+            )
         if self.trace is not None and self.trace.manifest is None:
             self.trace.manifest = self.manifest
         if self.telemetry.enabled:

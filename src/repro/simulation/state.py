@@ -19,6 +19,7 @@ import numpy as np
 from ..config import SimulationConfig
 from ..energy.battery import EnergyLedger
 from ..energy.radio import FirstOrderRadio
+from ..kernels import KernelBackend, default_backend
 from ..network.channel import Channel, LinkEstimator
 from ..network.deployment import deploy
 from ..network.node import BaseStation, NodeArray
@@ -41,6 +42,12 @@ class NetworkState:
         The master random generator for this run.  All stochastic
         components (traffic, channel, protocol randomisation) draw from
         streams spawned off it, keeping runs reproducible.
+    kernels:
+        A resolved kernel backend shared by every substrate this state
+        owns (ledger, channel, link estimator, geometry) and by the
+        protocols' routers.  Defaults to the numpy reference; the
+        engine resolves ``config.backend`` and passes the result.  All
+        backends are bit-identical by contract.
     """
 
     def __init__(
@@ -50,8 +57,10 @@ class NetworkState:
         bs: BaseStation | None = None,
         rng: np.random.Generator | None = None,
         initial_energy: np.ndarray | None = None,
+        kernels: KernelBackend | None = None,
     ) -> None:
         self.config = config
+        self.kernels = kernels if kernels is not None else default_backend()
         master = rng if rng is not None else np.random.default_rng(config.seed)
         # Independent child streams: deployment, traffic, channel,
         # protocol, and engine-internal tie-breaking.
@@ -71,14 +80,19 @@ class NetworkState:
             if initial_energy is not None
             else nodes.initial_energy
         )
-        self.ledger = EnergyLedger(energies, death_line=config.deployment.death_line)
-        self.channel = Channel(self.radio, channel_rng)
+        self.ledger = EnergyLedger(
+            energies,
+            death_line=config.deployment.death_line,
+            kernels=self.kernels,
+        )
+        self.channel = Channel(self.radio, channel_rng, kernels=self.kernels)
         # Targets: every node plus the base station (index N).
         self.link_estimator = LinkEstimator(
             nodes.n,
             nodes.n + 1,
             alpha=config.estimator_alpha,
             shared=config.estimator_shared,
+            kernels=self.kernels,
         )
         self.round_index = 0
         #: Per-node round index at which the node was last a cluster
@@ -138,11 +152,10 @@ class NetworkState:
             out[is_bs] = self.topology.d_to_bs[nodes[is_bs]]
         real = ~is_bs
         if real.any():
-            diff = (
-                self.nodes.positions[targets[real]]
-                - self.nodes.positions[nodes[real]]
+            out[real] = self.kernels.distance_pairs(
+                self.nodes.positions[nodes[real]],
+                self.nodes.positions[targets[real]],
             )
-            out[real] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
         return out
 
     def distances_matrix(self, nodes: np.ndarray, targets: np.ndarray) -> np.ndarray:
@@ -158,11 +171,10 @@ class NetworkState:
             out[:, is_bs] = self.topology.d_to_bs[nodes][:, None]
         real = ~is_bs
         if real.any():
-            diff = (
-                self.nodes.positions[targets[real]][None, :, :]
-                - self.nodes.positions[nodes][:, None, :]
+            out[:, real] = self.kernels.distance_block(
+                self.nodes.positions[nodes],
+                self.nodes.positions[targets[real]],
             )
-            out[:, real] = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
         return out
 
     def average_energy_estimate(self) -> float:

@@ -65,9 +65,20 @@ def run_manifest(
     config: "SimulationConfig",
     protocol: str,
     extra: dict | None = None,
+    backend: str | None = None,
 ) -> dict:
-    """Build the self-describing header for one simulation run."""
+    """Build the self-describing header for one simulation run.
+
+    ``backend`` is the *resolved* kernel-backend name the run executes
+    on (the engine passes it); when omitted it is derived from
+    ``config.backend`` — never recorded as ``"auto"``, so an artifact
+    always names its concrete kernel provenance.  The versions of the
+    numeric dependencies ride along (``backend_versions``): backends
+    are bit-identical by contract, but a violated contract is only
+    diagnosable if the artifact says what produced it.
+    """
     from .. import __version__  # deferred: repro/__init__ imports the engine
+    from ..kernels import backend_versions, resolve_backend_name
 
     manifest = {
         "kind": MANIFEST_KIND,
@@ -80,6 +91,12 @@ def run_manifest(
         "n_nodes": config.deployment.n_nodes,
         "rounds": config.rounds,
         "mean_interarrival": config.traffic.mean_interarrival,
+        "backend": (
+            backend
+            if backend is not None
+            else resolve_backend_name(config.backend)
+        ),
+        "backend_versions": backend_versions(),
     }
     if extra:
         overlap = set(extra) & set(manifest)

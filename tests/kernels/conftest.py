@@ -1,0 +1,30 @@
+"""Shared registry-isolation fixture for the kernels suite.
+
+Registry tests register throwaway backends and the degradation tests
+monkeypatch capability probes; both must leave the process-wide
+registry exactly as they found it or later tests (and the engine's
+``auto`` resolution) would see phantom backends.
+"""
+
+import pytest
+
+from repro.kernels import registry
+
+
+@pytest.fixture
+def clean_registry():
+    """Snapshot and restore the backend registry around a test."""
+    factories = dict(registry._FACTORIES)
+    probes = dict(registry._PROBES)
+    instances = dict(registry._INSTANCES)
+    warned = registry._warned_fallback
+    try:
+        yield registry
+    finally:
+        registry._FACTORIES.clear()
+        registry._FACTORIES.update(factories)
+        registry._PROBES.clear()
+        registry._PROBES.update(probes)
+        registry._INSTANCES.clear()
+        registry._INSTANCES.update(instances)
+        registry._warned_fallback = warned

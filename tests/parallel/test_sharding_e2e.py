@@ -219,7 +219,10 @@ def _reset_fault():
     _FAULT["calls"] = {}
 
 
-def faulty_cell(protocol, lam, seed, initial_energy, rounds, stop, telemetry):
+def faulty_cell(
+    protocol, lam, seed, initial_energy, rounds, stop, telemetry,
+    backend="auto",
+):
     key = (protocol, lam, seed)
     _FAULT["calls"][key] = _FAULT["calls"].get(key, 0) + 1
     if seed in _FAULT["seeds"]:
@@ -229,7 +232,7 @@ def faulty_cell(protocol, lam, seed, initial_energy, rounds, stop, telemetry):
     return run_cell(
         protocol, lam, seed,
         initial_energy=initial_energy, rounds=rounds,
-        stop_on_death=stop, telemetry=telemetry,
+        stop_on_death=stop, telemetry=telemetry, backend=backend,
     )
 
 

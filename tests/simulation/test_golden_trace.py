@@ -19,6 +19,7 @@ import pytest
 
 from repro.analysis import PROTOCOLS
 from repro.config import paper_config
+from repro.kernels import available_backends
 from repro.simulation.engine import SimulationEngine
 
 SNAPSHOT = pathlib.Path(__file__).with_name("golden_trace.json")
@@ -26,9 +27,11 @@ ROUNDS = 5
 SEED = 0
 
 
-def trace(protocol_name: str) -> list[dict]:
+def trace(protocol_name: str, backend: str = "numpy") -> list[dict]:
     cfg = paper_config(seed=SEED, rounds=ROUNDS)
-    result = SimulationEngine(cfg, PROTOCOLS[protocol_name]()).run()
+    result = SimulationEngine(
+        cfg, PROTOCOLS[protocol_name](), backend=backend
+    ).run()
     rows = []
     for rs in result.per_round:
         p = rs.packets
@@ -53,11 +56,15 @@ def trace(protocol_name: str) -> list[dict]:
     return rows
 
 
+# Every available kernel backend must reproduce the pinned traces —
+# the goldens are backend-independent by the bit-equivalence contract,
+# so a host with numba runs each protocol twice.
+@pytest.mark.parametrize("backend", available_backends())
 @pytest.mark.parametrize("name", sorted(PROTOCOLS))
-def test_golden_trace(name):
+def test_golden_trace(name, backend):
     snapshot = json.loads(SNAPSHOT.read_text())
     assert name in snapshot, f"no golden trace for {name!r}; regenerate"
-    got = trace(name)
+    got = trace(name, backend)
     want = snapshot[name]
     assert len(got) == len(want)
     for g, w in zip(got, want):

@@ -57,6 +57,26 @@ class TestRunManifest:
         with pytest.raises(ValueError):
             run_manifest(make_config(), "qlec", extra={"seed": 99})
 
+    def test_backend_recorded_resolved_never_auto(self):
+        m = run_manifest(make_config(), "qlec")  # config backend is "auto"
+        assert m["backend"] != "auto"
+        from repro.kernels import backend_names
+
+        assert m["backend"] in backend_names()
+
+    def test_backend_explicit_passthrough(self):
+        m = run_manifest(make_config(), "qlec", backend="numpy")
+        assert m["backend"] == "numpy"
+
+    def test_backend_versions_recorded(self):
+        m = run_manifest(make_config(), "qlec")
+        versions = m["backend_versions"]
+        import numpy as np
+
+        assert versions["numpy"] == np.__version__
+        # Key present even when the optional dep is absent (value null).
+        assert "numba" in versions
+
 
 class TestStableFingerprint:
     def test_insensitive_to_key_order(self):

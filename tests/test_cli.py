@@ -26,6 +26,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["teleport"])
 
+    @pytest.mark.parametrize(
+        "command", ["quickstart", "fig3", "fig4", "sweep", "scenario"]
+    )
+    def test_backend_flag_accepted(self, command):
+        argv = [command, "table2"] if command == "scenario" else [command]
+        args = build_parser().parse_args(argv + ["--backend", "numpy"])
+        assert args.backend == "numpy"
+
+    def test_backend_defaults_to_auto(self):
+        assert build_parser().parse_args(["quickstart"]).backend == "auto"
+
+    def test_backend_rejects_unknown_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quickstart", "--backend", "tpu"])
+
 
 class TestCommands:
     def test_quickstart_prints_table(self, capsys):

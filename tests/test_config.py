@@ -128,6 +128,22 @@ class TestSimulationConfig:
         with pytest.raises(dataclasses.FrozenInstanceError):
             c.rounds = 5
 
+    def test_backend_default_is_auto(self):
+        assert SimulationConfig().backend == "auto"
+
+    def test_backend_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(backend="")
+        with pytest.raises(ValueError):
+            SimulationConfig(backend=None)  # type: ignore[arg-type]
+
+    def test_backend_is_part_of_fingerprint(self):
+        from repro.telemetry import config_fingerprint
+
+        a = SimulationConfig(backend="numpy")
+        b = SimulationConfig(backend="numba")
+        assert config_fingerprint(a) != config_fingerprint(b)
+
 
 class TestPaperConfig:
     def test_headline_values(self):
