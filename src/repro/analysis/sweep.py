@@ -65,6 +65,7 @@ def run_cell(
     stop_on_death: bool = False,
     telemetry: bool = False,
     backend: str = "auto",
+    faults: str | None = None,
 ) -> dict:
     """One sweep cell: build the Table-2 scenario and run one protocol.
 
@@ -79,6 +80,11 @@ def run_cell(
     fingerprint (and hence the sharding cell ID) pins the concrete
     backend — a resumed or merged artifact can never silently mix
     backends with different availability.
+
+    ``faults`` names a chaos scenario from
+    :data:`repro.faults.FAULT_SCENARIOS`; the plan is materialised
+    against the cell's config (so the chaos scales with the scenario)
+    and, being a config field, hashes into the fingerprint/cell ID.
     """
     if protocol not in PROTOCOLS:
         raise KeyError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
@@ -91,6 +97,10 @@ def run_cell(
         ),
         backend=resolve_backend_name(backend),
     )
+    if faults:
+        from ..faults import build_fault_plan
+
+        config = config.replace(faults=build_fault_plan(faults, config))
     tel = Telemetry() if telemetry else None
     result = run_simulation(
         config,
@@ -161,6 +171,7 @@ def sweep_protocols(
     serial: bool = False,
     telemetry: bool = False,
     backend: str = "auto",
+    faults: str | None = None,
 ) -> SweepResult:
     """Run the full (protocol x lambda x seed) grid in parallel.
 
@@ -182,6 +193,7 @@ def sweep_protocols(
         stop_on_death=stop_on_death,
         telemetry=telemetry,
         backend=backend,
+        faults=faults,
     )
     return sweep_from_spec(spec, max_workers=max_workers, serial=serial)
 

@@ -35,6 +35,20 @@ def _add_backend_arg(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_faults_arg(cmd: argparse.ArgumentParser) -> None:
+    # Choices deferred to runtime would hide typos until the run starts;
+    # the catalog import is cheap (pure-python, no numpy work at import).
+    from .faults import fault_scenario_names
+
+    cmd.add_argument(
+        "--faults", type=str, default=None, metavar="SCENARIO",
+        choices=fault_scenario_names(),
+        help="overlay a named fault plan from the chaos catalog "
+             f"({', '.join(fault_scenario_names())}); the plan is "
+             "seeded, deterministic, and part of the run fingerprint",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -91,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="instrument every cell; snapshots ride in the "
                           "artifact and merge across shards")
     _add_backend_arg(swp)
+    _add_faults_arg(swp)
 
     mrg = sub.add_parser(
         "merge", help="fold shard artifacts back into one sweep"
@@ -145,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--telemetry", action="store_true",
                       help="print the per-phase time/energy/drop breakdown")
     _add_backend_arg(scen)
+    _add_faults_arg(scen)
 
     rep = sub.add_parser("report", help="run everything, write REPORT.md")
     rep.add_argument("--out", type=str, default="REPORT.md")
@@ -303,6 +319,10 @@ def _cmd_scenario(args) -> int:
         print("\n".join(scenario_names()))
         return 0
     config, nodes, bs = build_scenario(args.name, seed=args.seed)
+    if args.faults:
+        from .faults import build_fault_plan
+
+        config = config.replace(faults=build_fault_plan(args.faults, config))
     tel = Telemetry() if args.telemetry else None
     engine = SimulationEngine(
         config, PROTOCOLS[args.protocol](), nodes=nodes, bs=bs,
@@ -318,6 +338,17 @@ def _cmd_scenario(args) -> int:
         print()
     print(render_table([result.summary()],
                        title=f"{args.protocol} on scenario {args.name!r}"))
+    if result.faults is not None:
+        f = result.faults
+        deaths = ", ".join(
+            f"{k}={v}" for k, v in sorted(f["deaths_by_cause"].items())
+        ) or "none"
+        print()
+        print(
+            f"faults: plan {f['plan_fingerprint']} injected {f['injected']} "
+            f"(absorbed {f['absorbed']}, fatal {f['fatal']}); "
+            f"deaths {deaths}; revived {f['revived']}"
+        )
     if tel is not None:
         print()
         print(render_telemetry(tel.snapshot()))
@@ -336,6 +367,7 @@ def _cmd_sweep(args) -> int:
         rounds=args.rounds,
         telemetry=args.telemetry,
         backend=args.backend,
+        faults=args.faults,
     )
     out = args.out or f"sweep-shard-{shard}of{num_shards}.jsonl"
     result = run_shard(

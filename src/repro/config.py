@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 if typing.TYPE_CHECKING:  # imported lazily to keep config dependency-free
     from .energy.harvesting import HarvestingConfig
+    from .faults import FaultPlan
     from .network.mobility import MobilityConfig
 
 __all__ = [
@@ -257,6 +258,13 @@ class SimulationConfig:
     mobility: "MobilityConfig | None" = None
     #: Optional energy harvesting (extension; cf. the HyDRO citation).
     harvesting: "HarvestingConfig | None" = None
+    #: Optional fault-injection plan (:class:`repro.faults.FaultPlan`).
+    #: ``None`` — the default — is the bit-identical golden-trace path
+    #: (the engine holds the inert NULL injector).  A plan, even an
+    #: empty one, arms the degradation machinery (dead-head masking,
+    #: bounded retry-with-backoff) and is part of run identity: the
+    #: plan hashes into the config fingerprint and sharding cell IDs.
+    faults: "FaultPlan | None" = None
     #: EWMA weight of the ACK-ratio link estimator (paper §4.2 / [2]).
     estimator_alpha: float = 0.08
     #: When True a target's ACK outcomes update every sender's estimate

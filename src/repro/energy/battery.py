@@ -62,6 +62,15 @@ class EnergyLedger:
         self.spent_tx = 0.0
         self.spent_rx = 0.0
         self.spent_da = 0.0
+        #: Death events by cause ("battery" for death-line crossings,
+        #: "crash"/"ch_kill"/"drain"/... for injected faults) and
+        #: revival events.  Every alive->dead transition increments
+        #: exactly one cause and every dead->alive transition increments
+        #: ``revived_count``, so at any instant
+        #: ``total_deaths - revived_count == n - n_alive`` — the
+        #: liveness-conservation invariant fault runs validate.
+        self._deaths_by_cause: dict[str, int] = {}
+        self.revived_count = 0
 
     # ------------------------------------------------------------------
     # inspection
@@ -134,6 +143,15 @@ class EnergyLedger:
         """
         return {"tx": self.spent_tx, "rx": self.spent_rx, "da": self.spent_da}
 
+    def deaths_by_cause(self) -> dict[str, int]:
+        """Death events per cause (owned copy, sorted by cause)."""
+        return dict(sorted(self._deaths_by_cause.items()))
+
+    @property
+    def total_deaths(self) -> int:
+        """Total alive->dead transitions (revivals counted separately)."""
+        return sum(self._deaths_by_cause.values())
+
     def consumption_ratio(self) -> np.ndarray:
         """Per-node consumed / initial energy ratio (Figure 4's metric)."""
         return (self._initial - self._residual) / self._initial
@@ -146,6 +164,12 @@ class EnergyLedger:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def _record_deaths(self, cause: str, count: int) -> None:
+        if count:
+            self._deaths_by_cause[cause] = (
+                self._deaths_by_cause.get(cause, 0) + int(count)
+            )
+
     def _charge_category(self, category: str, amount: float) -> None:
         if category == "tx":
             self.spent_tx += amount
@@ -183,6 +207,7 @@ class EnergyLedger:
         newly_dead = idx[after <= self._death_line]
         if newly_dead.size:
             self._alive[newly_dead] = False
+            self._record_deaths("battery", newly_dead.size)
 
     def discharge_many(self, idx, amounts, category: str = "tx") -> None:
         """Batched :meth:`discharge` that tolerates duplicate indices.
@@ -210,11 +235,17 @@ class EnergyLedger:
             raise ValueError(f"unknown energy category {category!r}")
         if idx.size == 0:
             return
+        # The kernel flips liveness in place without reporting deaths;
+        # an alive-count diff attributes them (cause "battery").
+        alive_before = int(np.count_nonzero(self._alive))
         delta = self.kernels.grouped_discharge(
             self._residual, self._alive, idx, amounts, self._death_line
         )
         if delta.size:
             self._charge_category(category, float(delta.sum()))
+        self._record_deaths(
+            "battery", alive_before - int(np.count_nonzero(self._alive))
+        )
 
     def recharge(self, amount, revive: bool = True) -> float:
         """Credit harvested energy, capped at each node's initial
@@ -244,8 +275,83 @@ class EnergyLedger:
         np.minimum(self._residual + amount, self._initial, out=self._residual)
         banked = float((self._residual - before).sum())
         if revive:
-            self._alive |= self._residual > self._death_line
+            back = (~self._alive) & (self._residual > self._death_line)
+            self.revived_count += int(back.sum())
+            self._alive |= back
         return banked
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def force_kill(self, idx, cause: str = "crash") -> int:
+        """Kill nodes outright (a non-battery fault: crash, CH kill).
+
+        Residuals are untouched — the battery did not empty, the node
+        failed — so energy accounting (gross spend, consumption ratio)
+        is unaffected.  Already-dead nodes are skipped.  Returns how
+        many nodes actually died, recorded under ``cause``.
+        """
+        idx = np.atleast_1d(np.asarray(idx))
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        if idx.size == 0:
+            return 0
+        victims = idx[self._alive[idx]]
+        if victims.size:
+            self._alive[victims] = False
+            self._record_deaths(cause, victims.size)
+        return int(victims.size)
+
+    def revive_nodes(self, idx) -> int:
+        """Bring crashed nodes back (fault churn's flip side).
+
+        Only dead nodes whose frozen residual still clears the death
+        line revive — a battery-dead node stays dead, matching the
+        paper's death-line semantics.  Returns how many revived.
+        """
+        idx = np.atleast_1d(np.asarray(idx))
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        if idx.size == 0:
+            return 0
+        back = idx[
+            (~self._alive[idx]) & (self._residual[idx] > self._death_line)
+        ]
+        if back.size:
+            self._alive[back] = True
+            self.revived_count += int(back.size)
+        return int(back.size)
+
+    def drain(self, idx, amounts, cause: str = "drain") -> int:
+        """Battery anomaly: residual vanishes without radio work.
+
+        Unlike :meth:`discharge` this books **no** tx/rx/da spend —
+        the joules leaked, they were not transmitted — so the Fig.-3
+        gross-energy metric and the per-round energy-sum invariant are
+        unaffected while consumption ratios and liveness see the loss.
+        Dead nodes are skipped; residuals floor at zero.  Returns how
+        many nodes the drain pushed across the death line (recorded
+        under ``cause``).
+        """
+        idx = np.atleast_1d(np.asarray(idx))
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        amounts = np.broadcast_to(
+            np.asarray(amounts, dtype=np.float64), idx.shape
+        )
+        if np.any(amounts < 0.0):
+            raise ValueError("drain amount must be non-negative")
+        live = self._alive[idx]
+        idx = idx[live]
+        amounts = amounts[live]
+        if idx.size == 0:
+            return 0
+        self._residual[idx] = np.maximum(self._residual[idx] - amounts, 0.0)
+        newly_dead = idx[self._residual[idx] <= self._death_line]
+        if newly_dead.size:
+            self._alive[newly_dead] = False
+            self._record_deaths(cause, newly_dead.size)
+        return int(newly_dead.size)
 
     def is_alive(self, i: int) -> bool:
         return bool(self._alive[i])

@@ -1,0 +1,29 @@
+"""Deterministic fault injection: seeded, schedulable chaos.
+
+``FaultPlan`` (pure data, fingerprintable) describes timed fault
+events; ``PlanInjector`` applies one against live simulation state at
+the engine's phase boundaries; the catalog names reusable chaos
+recipes for the CLI (``--faults``), the scenario registry, and sweep
+sharding.  Without a plan the engine holds :data:`NULL_INJECTOR` and
+the no-fault path is bit-identical to the golden traces (enforced by
+``scripts/check_fault_null_equivalence.py`` in CI).
+"""
+
+from .catalog import FAULT_SCENARIOS, build_fault_plan, fault_scenario_names
+from .injector import NULL_INJECTOR, NullInjector, PlanInjector
+from .metrics import per_round_pdr, rounds_to_recover
+from .plan import EVENT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "EVENT_KINDS",
+    "FAULT_SCENARIOS",
+    "FaultEvent",
+    "FaultPlan",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "PlanInjector",
+    "build_fault_plan",
+    "fault_scenario_names",
+    "per_round_pdr",
+    "rounds_to_recover",
+]

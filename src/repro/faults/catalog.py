@@ -1,0 +1,158 @@
+"""Named fault scenarios: reusable chaos recipes scaled to a config.
+
+Every builder maps a :class:`~repro.config.SimulationConfig` (without a
+plan) to a :class:`FaultPlan` whose timing scales with the scenario's
+round count and whose victim counts scale with the population — so the
+same scenario name means the same *shape* of chaos on a 30-node test
+cube and the 2896-node dataset run.
+
+These names are what ``--faults <scenario>`` on the CLI and
+``SweepSpec.faults`` resolve; because the materialised plan hashes into
+the config fingerprint, a named scenario pins cell identity exactly
+like any hand-built plan.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:
+    from ..config import SimulationConfig
+
+__all__ = ["FAULT_SCENARIOS", "build_fault_plan", "fault_scenario_names"]
+
+
+def _frac(n: int, fraction: float, minimum: int = 1) -> int:
+    return max(minimum, int(n * fraction))
+
+
+def _ch_kill(cfg: "SimulationConfig") -> FaultPlan:
+    """Kill two cluster heads at election time, one third in."""
+    return FaultPlan(
+        events=(
+            FaultEvent(kind="ch_kill", round=max(1, cfg.rounds // 3), count=2),
+        )
+    )
+
+
+def _ch_kill_mid(cfg: "SimulationConfig") -> FaultPlan:
+    """Kill two cluster heads mid-round (half way through the slots) —
+    the acceptance scenario: members must re-attach the same round."""
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                kind="ch_kill",
+                round=max(1, cfg.rounds // 3),
+                slot=cfg.traffic.slots_per_round // 2,
+                count=2,
+            ),
+        )
+    )
+
+
+def _blackout(cfg: "SimulationConfig") -> FaultPlan:
+    """Total channel outage for two rounds, one third in."""
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                kind="blackout", round=max(1, cfg.rounds // 3), count=0,
+                duration=2,
+            ),
+        )
+    )
+
+
+def _brownout(cfg: "SimulationConfig") -> FaultPlan:
+    """Every link at half its delivery probability for three rounds."""
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                kind="degrade", round=max(1, cfg.rounds // 3),
+                duration=3, factor=0.5,
+            ),
+        )
+    )
+
+
+def _churn(cfg: "SimulationConfig") -> FaultPlan:
+    """Crash 10 % of the nodes a quarter in, revive them at half time,
+    crash another 10 % at three quarters — LEACH-RLC-style membership
+    churn."""
+    n = cfg.deployment.n_nodes
+    r = cfg.rounds
+    k = _frac(n, 0.10)
+    return FaultPlan(
+        events=(
+            FaultEvent(kind="crash", round=max(1, r // 4), count=k),
+            FaultEvent(kind="revive", round=max(2, r // 2), count=k),
+            FaultEvent(kind="crash", round=max(3, (3 * r) // 4), count=k),
+        )
+    )
+
+
+def _link_flap(cfg: "SimulationConfig") -> FaultPlan:
+    """20 % of the radios degrade to 30 % link quality for three
+    rounds (every link incident to a flapping node suffers)."""
+    n = cfg.deployment.n_nodes
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                kind="link_degrade", round=max(1, cfg.rounds // 3),
+                count=_frac(n, 0.20), duration=3, factor=0.3,
+            ),
+        )
+    )
+
+
+def _queue_squeeze(cfg: "SimulationConfig") -> FaultPlan:
+    """Cluster-head buffers collapse to 2 slots for four rounds."""
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                kind="queue_clamp", round=max(1, cfg.rounds // 3),
+                duration=4, capacity=2,
+            ),
+        )
+    )
+
+
+def _drain(cfg: "SimulationConfig") -> FaultPlan:
+    """A battery anomaly drains half the residual of 10 % of the
+    nodes, one third in."""
+    n = cfg.deployment.n_nodes
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                kind="battery_drain", round=max(1, cfg.rounds // 3),
+                count=_frac(n, 0.10), factor=0.5,
+            ),
+        )
+    )
+
+
+FAULT_SCENARIOS: dict[str, Callable[["SimulationConfig"], FaultPlan]] = {
+    "ch-kill": _ch_kill,
+    "ch-kill-mid": _ch_kill_mid,
+    "blackout": _blackout,
+    "brownout": _brownout,
+    "churn": _churn,
+    "link-flap": _link_flap,
+    "queue-squeeze": _queue_squeeze,
+    "drain": _drain,
+}
+
+
+def fault_scenario_names() -> list[str]:
+    return sorted(FAULT_SCENARIOS)
+
+
+def build_fault_plan(name: str, config: "SimulationConfig") -> FaultPlan:
+    """Materialise the named fault scenario for ``config``."""
+    if name not in FAULT_SCENARIOS:
+        raise KeyError(
+            f"unknown fault scenario {name!r}; "
+            f"known: {', '.join(fault_scenario_names())}"
+        )
+    return FAULT_SCENARIOS[name](config)

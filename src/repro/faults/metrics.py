@@ -1,0 +1,48 @@
+"""Robustness metrics derived from a faulted run's per-round series."""
+
+from __future__ import annotations
+
+__all__ = ["per_round_pdr", "rounds_to_recover"]
+
+
+def per_round_pdr(result) -> list[float]:
+    """Per-round delivery rate series of a
+    :class:`~repro.simulation.metrics.SimulationResult` (rounds that
+    generated nothing report 1.0, matching ``PacketStats``)."""
+    return [rs.delivery_rate for rs in result.per_round]
+
+
+def rounds_to_recover(
+    result,
+    fault_round: int,
+    *,
+    threshold: float = 0.9,
+    baseline_window: int = 3,
+) -> int | None:
+    """Rounds after ``fault_round`` until per-round PDR first returns
+    to ``threshold`` times its pre-fault baseline.
+
+    The baseline is the mean per-round PDR over the
+    ``baseline_window`` rounds immediately before ``fault_round``.
+    Returns 0 when the fault round itself already meets the bar (the
+    degradation machinery absorbed the fault within the round), the
+    1-based lag to the first recovered round otherwise, and ``None``
+    when PDR never recovers within the run — the robustness headline
+    the CH-kill acceptance test asserts on.
+    """
+    pdr = per_round_pdr(result)
+    if not 0 <= fault_round < len(pdr):
+        raise ValueError(
+            f"fault_round {fault_round} outside the executed "
+            f"{len(pdr)} round(s)"
+        )
+    lo = max(0, fault_round - baseline_window)
+    before = pdr[lo:fault_round]
+    if not before:
+        raise ValueError("no pre-fault rounds to baseline against")
+    baseline = sum(before) / len(before)
+    bar = threshold * baseline
+    for lag, value in enumerate(pdr[fault_round:]):
+        if value >= bar:
+            return lag
+    return None

@@ -216,8 +216,20 @@ class Channel:
         self.sharpness = sharpness
         self.kernels = kernels if kernels is not None else default_backend()
         #: Failure-injection switch: when True every transmission fails
-        #: (used by fault tests; never enabled in experiments).
+        #: (driven by ``repro.faults`` blackout windows; never enabled
+        #: in the paper's experiments).
         self.blackout = blackout
+        #: Global delivery-probability multiplier (fault "degrade"
+        #: windows).  1.0 — the permanent no-fault value — leaves the
+        #: probability computation byte-identical to the unfaulted
+        #: code path.
+        self.degrade = 1.0
+        #: Optional per-node delivery multiplier of shape
+        #: ``(n_nodes + 1,)`` (fault "link_degrade": a failing radio
+        #: taxes every link incident to the node; the BS entry stays
+        #: 1.0).  None — the no-fault value — skips the lookup
+        #: entirely.
+        self.node_factor = None
         # Telemetry counters (None until bind_telemetry): attempts and
         # ACKs feed the link-level loss-rate view.  Checked once per
         # *batch*, not per packet, so the disabled cost is one branch.
@@ -236,12 +248,28 @@ class Channel:
             distance, self.radio.d0, self.floor, self.sharpness
         )
 
-    def attempt(self, distance: float) -> bool:
-        """Simulate one transmission over ``distance``; True on ACK."""
+    def attempt(
+        self, distance: float, sender: int | None = None,
+        target: int | None = None,
+    ) -> bool:
+        """Simulate one transmission over ``distance``; True on ACK.
+
+        ``sender``/``target`` only matter under per-node degradation
+        (``node_factor``); omitting them means neither endpoint's radio
+        is faulted.
+        """
         if self.blackout:
             ok = False
         else:
             p = self.success_probability(distance)
+            if self.degrade != 1.0:
+                p = p * self.degrade
+            nf = self.node_factor
+            if nf is not None:
+                if sender is not None:
+                    p = p * nf[sender]
+                if target is not None:
+                    p = p * nf[target]
             ok = bool(self.rng.random() < p)
         if self._tel_attempts is not None:
             self._tel_attempts.add(1)
@@ -249,7 +277,10 @@ class Channel:
                 self._tel_acks.add(1)
         return ok
 
-    def attempt_batch(self, distances: np.ndarray) -> np.ndarray:
+    def attempt_batch(
+        self, distances: np.ndarray, senders: np.ndarray | None = None,
+        targets: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Vectorized Bernoulli trials for a batch of links.
 
         Consumes exactly ``distances.size`` uniforms in element order,
@@ -257,12 +288,23 @@ class Channel:
         :meth:`attempt` calls read the same generator stream.  The
         uniforms are always drawn here (stream determinism is never a
         backend concern); the backend supplies only the compare.
+        Degradation (global or per endpoint via ``senders``/``targets``)
+        scales the probabilities, never the draw count — faulted and
+        unfaulted runs consume the channel stream identically.
         """
         distances = np.asarray(distances, dtype=np.float64)
         if self.blackout:
             out = np.zeros(distances.shape, dtype=bool)
         else:
             p = self.success_probability(distances)
+            if self.degrade != 1.0:
+                p = p * self.degrade
+            nf = self.node_factor
+            if nf is not None:
+                if senders is not None:
+                    p = p * nf[senders]
+                if targets is not None:
+                    p = p * nf[targets]
             out = self.kernels.bernoulli(p, self.rng.random(distances.shape))
         if self._tel_attempts is not None:
             self._tel_attempts.add(out.size)

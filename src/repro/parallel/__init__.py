@@ -8,6 +8,7 @@ from .sharding import (
     ShardRunResult,
     SweepCell,
     SweepSpec,
+    classify_error,
     load_artifact,
     merge_artifacts,
     parse_shard_arg,
@@ -23,6 +24,7 @@ __all__ = [
     "ShardRunResult",
     "SweepCell",
     "SweepSpec",
+    "classify_error",
     "default_workers",
     "fold_results",
     "iter_tasks",

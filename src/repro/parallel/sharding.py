@@ -71,6 +71,7 @@ __all__ = [
     "ShardRunResult",
     "SweepCell",
     "SweepSpec",
+    "classify_error",
     "load_artifact",
     "merge_artifacts",
     "parse_shard_arg",
@@ -113,6 +114,13 @@ class SweepSpec:
     #: :meth:`cells`), so ``"auto"`` specs resumed on hosts that resolve
     #: differently recompute rather than reuse foreign-backend rows.
     backend: str = "auto"
+    #: Optional chaos overlay: the name of a fault scenario from
+    #: :data:`repro.faults.FAULT_SCENARIOS`, materialised against each
+    #: cell's config by :func:`repro.analysis.sweep.run_cell`.  The
+    #: resulting plan is a config field, so it flows into the config
+    #: fingerprint and hence the cell ID — fault sweeps shard, resume,
+    #: and merge exactly like fault-free ones, and never mix with them.
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocols", tuple(self.protocols))
@@ -157,6 +165,7 @@ class SweepSpec:
                 self.stop_on_death,
                 self.telemetry,
                 self.backend,
+                self.faults,
             )
             for p in self.protocols
             for lam in self.lambdas
@@ -190,17 +199,24 @@ class SweepSpec:
         for p in self.protocols:
             for lam in self.lambdas:
                 for seed in self.seeds:
-                    fp = config_fingerprint(
-                        _dc.replace(
-                            paper_config(
-                                mean_interarrival=lam,
-                                seed=seed,
-                                rounds=self.rounds,
-                                initial_energy=self.initial_energy,
-                            ),
-                            backend=backend,
-                        )
+                    cfg = _dc.replace(
+                        paper_config(
+                            mean_interarrival=lam,
+                            seed=seed,
+                            rounds=self.rounds,
+                            initial_energy=self.initial_energy,
+                        ),
+                        backend=backend,
                     )
+                    if self.faults:
+                        # Mirror run_cell exactly: the materialised plan
+                        # is part of the config a worker will fingerprint.
+                        from ..faults import build_fault_plan
+
+                        cfg = cfg.replace(
+                            faults=build_fault_plan(self.faults, cfg)
+                        )
+                    fp = config_fingerprint(cfg)
                     out.append(
                         SweepCell.build(
                             p, lam, seed, fp, self.stop_on_death, backend
@@ -309,6 +325,7 @@ def _default_cell_fn(
     stop_on_death: bool,
     telemetry: bool,
     backend: str = "auto",
+    faults: str | None = None,
 ):
     # Deferred import keeps repro.parallel free of an import cycle with
     # repro.analysis (which imports this package at module scope).
@@ -323,6 +340,41 @@ def _default_cell_fn(
         stop_on_death=stop_on_death,
         telemetry=telemetry,
         backend=backend,
+        faults=faults,
+    )
+
+
+#: Exception classes whose failures are a pure function of the cell's
+#: inputs — a bad value, a missing attribute, a broken invariant.  Re-
+#: running the identical deterministic computation cannot change the
+#: outcome, so retrying them only burns worker time.  Everything else
+#: (OSError, MemoryError, RuntimeError, ...) is treated as transient:
+#: environmental causes — a flaky filesystem, memory pressure, a worker
+#: wedged mid-import — can heal between attempts.
+_DETERMINISTIC_ERRORS = (
+    ValueError,
+    TypeError,
+    LookupError,
+    AttributeError,
+    AssertionError,
+    ArithmeticError,
+    NotImplementedError,
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Classify a cell failure as ``"deterministic"`` or ``"transient"``.
+
+    Deterministic failures will reproduce on every retry of the same
+    cell (same config, same seed, same code); transient ones might not.
+    The class drives the retry policy in :func:`_guarded_cell` and is
+    recorded on ``cell-error`` artifact rows so a merge report can tell
+    "rerun these shards" casualties from "fix the code" ones.
+    """
+    return (
+        "deterministic"
+        if isinstance(exc, _DETERMINISTIC_ERRORS)
+        else "transient"
     )
 
 
@@ -330,9 +382,12 @@ def _guarded_cell(cell_fn: Callable, args: tuple, retries: int) -> tuple:
     """Run one cell in a worker without ever raising.
 
     A raised exception would abort the whole ``pool.map``; instead the
-    cell is retried up to ``retries`` extra times in place (transient
-    faults) and, failing that, an error payload comes home so the
-    shard completes and records the casualty.
+    cell is retried up to ``retries`` extra times in place — but only
+    for *transient* failures (see :func:`classify_error`): a
+    deterministic failure is recorded after the first attempt, since
+    replaying an identical computation cannot change its outcome.
+    Either way an error payload comes home so the shard completes and
+    records the casualty.
     """
     last: Exception | None = None
     attempts = 0
@@ -341,9 +396,15 @@ def _guarded_cell(cell_fn: Callable, args: tuple, retries: int) -> tuple:
             return ("ok", cell_fn(*args), attempts)
         except Exception as exc:  # noqa: BLE001 - worker boundary
             last = exc
+            if classify_error(exc) == "deterministic":
+                break
     return (
         "error",
-        {"type": type(last).__name__, "message": str(last)},
+        {
+            "type": type(last).__name__,
+            "message": str(last),
+            "class": classify_error(last),
+        },
         attempts,
     )
 
@@ -526,6 +587,7 @@ def run_shard(
                 # the worker must produce exactly the fingerprint the
                 # cell ID pinned at enumeration time.
                 c.backend,
+                spec.faults,
             ),
             retries,
         )

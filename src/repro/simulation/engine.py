@@ -55,6 +55,7 @@ from ..config import SimulationConfig
 
 if TYPE_CHECKING:  # avoid a runtime cycle with baselines.base
     from ..baselines.base import ClusteringProtocol
+from ..faults import NULL_INJECTOR, PlanInjector
 from ..kernels import KernelBackend, resolve_backend
 from ..network.node import BaseStation, NodeArray
 from ..network.packet import PacketArena, PacketStats, PacketStatus
@@ -166,6 +167,26 @@ class SimulationEngine:
                 config.deployment.side,
                 self.state.mobility_rng,
             )
+        # Fault injection: the NULL singleton unless the config carries
+        # a plan.  Every engine hook is guarded by ``self.faults.active``
+        # so the no-fault path stays bit-identical to the golden traces
+        # (and the recovery machinery below never allocates).
+        self.faults = NULL_INJECTOR
+        self._recovering = False
+        if config.faults is not None:
+            self.faults = PlanInjector(
+                config.faults,
+                self.state.fault_rng,
+                self.state.n,
+                self.state.bs_index,
+            )
+            self._recovering = self.faults.recovering
+            #: Per-sender degradation bookkeeping (recovery path only):
+            #: absolute slot before which a backed-off sender stays
+            #: quiet, and link-layer retransmissions spent this round
+            #: against the plan's budget.
+            self._backoff_until = np.zeros(self.state.n, dtype=np.int64)
+            self._retry_spent = np.zeros(self.state.n, dtype=np.int64)
         self.harvester = None
         if config.harvesting is not None:
             from ..energy.harvesting import build_harvester
@@ -245,12 +266,29 @@ class SimulationEngine:
         senders = np.flatnonzero(
             st.ledger.alive & ~is_head & (self.buffers.lengths > 0)
         )
+        if self._recovering and senders.size:
+            # Backed-off senders sit this slot out (bounded
+            # retry-with-backoff under degradation; see run_round).
+            senders = senders[self._backoff_until[senders] <= abs_slot]
         if senders.size == 0:
             return
         hop_by_hop = getattr(self.protocol, "hop_by_hop", False)
         if heads.size or hop_by_hop:
             qlens = bank.lengths  # slot-start backlog snapshot
-            targets = self._choose_targets(heads, senders, qlens)
+            eff_heads, eff_qlens = heads, qlens
+            if self._recovering and heads.size:
+                # Graceful degradation: dead cluster heads are masked
+                # out of every sender's action set, so members re-attach
+                # to a live head (or fall back to the BS) this same
+                # round instead of burning retries on a silent corpse.
+                live = st.ledger.alive[heads]
+                if not live.all():
+                    eff_heads = heads[live]
+                    eff_qlens = qlens[live]
+            if eff_heads.size or hop_by_hop:
+                targets = self._choose_targets(eff_heads, senders, eff_qlens)
+            else:
+                targets = np.full(senders.size, st.bs_index, dtype=np.int64)
         else:
             targets = np.full(senders.size, st.bs_index, dtype=np.int64)
         tel.lap("relay_choice")
@@ -263,7 +301,7 @@ class SimulationEngine:
         to_bs = targets == st.bs_index
         target_alive = to_bs.copy()
         target_alive[~to_bs] = st.ledger.alive[targets[~to_bs]]
-        draws = st.channel.attempt_batch(d)
+        draws = st.channel.attempt_batch(d, senders, targets)
         arrived = draws & target_alive
         tel.lap("channel")
         # Every arrival at a non-BS target costs that target rx energy
@@ -346,7 +384,24 @@ class SimulationEngine:
         failed = np.flatnonzero(~arrived)
         if failed.size:
             retry = arena.retries[rows[failed]] < self.config.max_retries
-            retrying = failed[retry]
+            if self._recovering:
+                # Bounded retry-with-backoff: each sender has a
+                # per-round retransmission budget, and every spent
+                # retry pushes its next attempt out exponentially
+                # (base * 2^min(k, 4) slots).  Budget-exhausted
+                # packets drop through the final-failure accounting.
+                spent = self._retry_spent[senders[failed]]
+                retry = retry & (spent < self.faults.retry_budget)
+                retrying = failed[retry]
+                if retrying.size:
+                    s_retry = senders[retrying]
+                    delay = self.faults.backoff_base * (
+                        1 << np.minimum(self._retry_spent[s_retry], 4)
+                    )
+                    self._backoff_until[s_retry] = abs_slot + 1 + delay
+                    self._retry_spent[s_retry] += 1
+            else:
+                retrying = failed[retry]
             arena.retries[rows[retrying]] += 1
             pop_mask[retrying] = False
             final = failed[~retry]
@@ -512,7 +567,7 @@ class SimulationEngine:
                 next_frames: list[tuple[np.ndarray, np.ndarray]] = []
                 for frame_rows, frame_slots in surviving:
                     st.ledger.discharge(src, st.radio.tx(bits, d), "tx")
-                    ok = dst_alive and st.channel.attempt(d)
+                    ok = dst_alive and st.channel.attempt(d, src, dst)
                     if ok and dst != st.bs_index:
                         # Transit relay: needs leftover service capacity
                         # at the intermediate head (missing ACK = the
@@ -605,7 +660,9 @@ class SimulationEngine:
         # stream the scalar chain walk consumes.
         frame_head = np.repeat(np.arange(live.size), n_frames)
         st.ledger.discharge_many(srcs[frame_head], tx_e[frame_head], "tx")
-        draws = st.channel.attempt_batch(d[frame_head])
+        # Targets are all the BS (never degraded), so only sender-side
+        # per-node factors apply.
+        draws = st.channel.attempt_batch(d[frame_head], srcs[frame_head])
         st.link_estimator.update_batch(
             srcs[frame_head],
             np.full(frame_head.size, st.bs_index, dtype=np.intp),
@@ -652,6 +709,13 @@ class SimulationEngine:
             self.harvester.apply(
                 st.ledger, st.round_index, revive=cfg.harvesting.revive
             )
+        if self.faults.active:
+            # Round-start fault boundary: expire degradation windows,
+            # apply this round's crash/revive/drain/window events, and
+            # reset the per-round retransmission budget.
+            self.faults.begin_round(st)
+            if self._recovering:
+                self._retry_spent[:] = 0
         energy_before = st.ledger.total_spent
         v_before = getattr(self.protocol, "v_update_count", 0)
         tel.lap("setup")
@@ -659,11 +723,19 @@ class SimulationEngine:
         heads = self.protocol.validate_heads(
             st, self.protocol.select_cluster_heads(st)
         )
+        if self.faults.active:
+            # Election-time CH kills strike between selection and
+            # service: the victims never serve this round and do not
+            # count as having served an epoch.
+            heads = self.faults.at_election(st, heads)
         st.mark_cluster_heads(heads)
         is_head = np.zeros(st.n, dtype=bool)
         if heads.size:
             is_head[heads] = True
-        bank = QueueBank(heads, cfg.queue.capacity, st.n)
+        capacity = cfg.queue.capacity
+        if self.faults.active:
+            capacity = self.faults.queue_capacity(capacity)
+        bank = QueueBank(heads, capacity, st.n)
         fused: list[_FusedBatch] = []
         stats = PacketStats()
         tel.lap("ch_select")
@@ -672,6 +744,9 @@ class SimulationEngine:
         base_slot = st.round_index * slots
         for slot in range(slots):
             abs_slot = base_slot + slot
+            if self.faults.active:
+                # Mid-round CH kills strike at slot boundaries.
+                self.faults.at_slot(st, heads, slot)
             self._generate(abs_slot, is_head, stats)
             tel.lap("generate")
             self._transmit(abs_slot, heads, is_head, bank, stats)
@@ -770,6 +845,10 @@ class SimulationEngine:
             mean_interarrival=self.config.traffic.mean_interarrival,
             v_update_total=getattr(self.protocol, "v_update_count", 0),
         )
+        if self.faults.active:
+            result.faults = self.faults.summary(self.state.ledger)
+            if self.telemetry.enabled:
+                self._record_fault_telemetry(result.faults)
         if self.telemetry.enabled:
             result.extras["telemetry"] = {
                 "manifest": self.manifest,
@@ -777,6 +856,17 @@ class SimulationEngine:
             }
         result.validate()
         return result
+
+    def _record_fault_telemetry(self, summary: dict) -> None:
+        """Fault counters for the telemetry registry (deterministic, so
+        they merge across shards like every pipeline counter)."""
+        reg = self.telemetry.registry
+        reg.counter("faults/injected").add(summary["injected"])
+        reg.counter("faults/absorbed").add(summary["absorbed"])
+        reg.counter("faults/fatal").add(summary["fatal"])
+        reg.counter("faults/revived").add(summary["revived"])
+        for cause, count in summary["deaths_by_cause"].items():
+            reg.counter(f"deaths/{cause}").add(count)
 
 
 def run_simulation(

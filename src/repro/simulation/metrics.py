@@ -55,6 +55,10 @@ class SimulationResult:
     seed: int = 0
     mean_interarrival: float = 0.0
     v_update_total: int = 0
+    #: Fault summary of a chaos run (``repro.faults``): injection
+    #: counters, deaths by cause, and revival counts as a JSON-able
+    #: dict.  ``None`` for runs without a fault plan.
+    faults: dict | None = None
     extras: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -163,3 +167,34 @@ class SimulationResult:
         per_round_energy = sum(r.energy_consumed for r in self.per_round)
         if not np.isclose(per_round_energy, self.total_energy, rtol=1e-9, atol=1e-12):
             raise AssertionError("per-round energies do not sum to total")
+        if self.faults is not None:
+            self._validate_faults()
+
+    def _validate_faults(self) -> None:
+        """Fault-accounting invariants of a chaos run.
+
+        Every injected event is either absorbed or fatal; every death
+        has exactly one cause; and liveness is conserved — deaths minus
+        revivals equals the net population loss.
+        """
+        f = self.faults
+        for key in ("injected", "absorbed", "fatal"):
+            if f[key] < 0:
+                raise AssertionError(f"negative fault counter {key!r}")
+        if f["injected"] != f["absorbed"] + f["fatal"]:
+            raise AssertionError(
+                f"faults injected ({f['injected']}) != absorbed "
+                f"({f['absorbed']}) + fatal ({f['fatal']})"
+            )
+        by_cause = sum(f["deaths_by_cause"].values())
+        if by_cause != f["total_deaths"]:
+            raise AssertionError(
+                f"deaths by cause sum to {by_cause}, "
+                f"not total_deaths {f['total_deaths']}"
+            )
+        net_loss = self.consumption_ratio.size - self.n_alive_final
+        if f["total_deaths"] - f["revived"] != net_loss:
+            raise AssertionError(
+                f"liveness not conserved: {f['total_deaths']} deaths - "
+                f"{f['revived']} revivals != net loss {net_loss}"
+            )

@@ -20,6 +20,7 @@ from ..config import (
     TrafficConfig,
     paper_config,
 )
+from ..faults import build_fault_plan
 from ..network.deployment import mountain_terrain, underwater_column
 from ..network.node import BaseStation, NodeArray
 
@@ -102,6 +103,18 @@ def _heterogeneous(seed: int) -> Scenario:
     return config, None, None
 
 
+def _chaos(fault_name: str, rounds: int = 16) -> Callable[[int], Scenario]:
+    """Table-2 base scenario overlaid with a named fault plan from
+    :mod:`repro.faults.catalog` (a couple of extra rounds so the
+    post-fault recovery window is observable)."""
+
+    def build(seed: int) -> Scenario:
+        config = paper_config(seed=seed, rounds=rounds)
+        return config.replace(faults=build_fault_plan(fault_name, config)), None, None
+
+    return build
+
+
 SCENARIOS: dict[str, Callable[[int], Scenario]] = {
     "table2": _table2,
     "table2-literal": _table2_literal,
@@ -110,6 +123,11 @@ SCENARIOS: dict[str, Callable[[int], Scenario]] = {
     "underwater": _underwater,
     "mountain": _mountain,
     "heterogeneous": _heterogeneous,
+    # Chaos overlays: the same Table-2 network under scheduled faults.
+    "chaos-ch-kill": _chaos("ch-kill-mid"),
+    "chaos-blackout": _chaos("blackout"),
+    "chaos-churn": _chaos("churn"),
+    "chaos-brownout": _chaos("brownout"),
 }
 
 

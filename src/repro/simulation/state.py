@@ -63,11 +63,15 @@ class NetworkState:
         self.kernels = kernels if kernels is not None else default_backend()
         master = rng if rng is not None else np.random.default_rng(config.seed)
         # Independent child streams: deployment, traffic, channel,
-        # protocol, and engine-internal tie-breaking.
-        seeds = master.spawn(7)
+        # protocol, engine-internal tie-breaking, mobility, harvesting,
+        # and fault injection.  spawn(8) yields the same first seven
+        # children as spawn(7) did (spawn keys are sequential), so
+        # adding the fault stream left every pre-fault golden trace
+        # bit-identical.
+        seeds = master.spawn(8)
         (self._deploy_rng, self.traffic_rng, channel_rng,
          self.protocol_rng, self.engine_rng,
-         self.mobility_rng, self.harvest_rng) = seeds
+         self.mobility_rng, self.harvest_rng, self.fault_rng) = seeds
 
         if nodes is None or bs is None:
             nodes, bs = deploy(config.deployment, self._deploy_rng)

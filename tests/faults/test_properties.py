@@ -1,0 +1,100 @@
+"""Property-based chaos: for *any* valid fault plan the simulator may
+never violate its accounting invariants, and the scalar slot path must
+stay bit-identical to the batched kernels.
+
+Strategies build small plans against a small network (12 nodes, 4
+rounds) so every example is a real simulation at tolerable cost.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QLECProtocol
+from repro.faults import FaultEvent, FaultPlan
+from repro.simulation import run_simulation
+from tests.conftest import make_config
+
+N_NODES = 12
+ROUNDS = 4
+SLOTS = 10  # make_config default traffic keeps slots_per_round=10
+
+_rounds = st.integers(min_value=0, max_value=ROUNDS - 1)
+_victims = st.one_of(
+    st.none(),
+    st.lists(
+        st.integers(min_value=0, max_value=N_NODES - 1),
+        min_size=1, max_size=N_NODES, unique=True,
+    ).map(tuple),
+)
+
+
+@st.composite
+def fault_events(draw):
+    kind = draw(st.sampled_from((
+        "crash", "revive", "ch_kill", "blackout", "degrade",
+        "link_degrade", "queue_clamp", "battery_drain",
+    )))
+    kwargs = {"kind": kind, "round": draw(_rounds)}
+    if kind in ("crash", "revive", "ch_kill", "link_degrade", "battery_drain"):
+        nodes = draw(_victims)
+        if nodes is None:
+            kwargs["count"] = draw(st.integers(min_value=1, max_value=6))
+        else:
+            kwargs["nodes"] = nodes
+    if kind == "ch_kill":
+        kwargs["slot"] = draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=SLOTS - 1))
+        )
+    if kind in ("blackout", "degrade", "link_degrade", "queue_clamp"):
+        kwargs["duration"] = draw(st.integers(min_value=1, max_value=ROUNDS))
+    if kind in ("degrade", "link_degrade", "battery_drain"):
+        kwargs["factor"] = draw(
+            st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+        )
+    if kind == "queue_clamp":
+        kwargs["capacity"] = draw(st.integers(min_value=0, max_value=4))
+    return FaultEvent(**kwargs)
+
+
+fault_plans = st.builds(
+    FaultPlan,
+    events=st.lists(fault_events(), min_size=0, max_size=5).map(tuple),
+    recovery=st.booleans(),
+    retry_budget=st.integers(min_value=0, max_value=16),
+    backoff_base=st.integers(min_value=0, max_value=3),
+)
+
+
+class TestChaosProperties:
+    @given(plan=fault_plans, seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_accounting_survives_any_plan(self, plan, seed):
+        config = make_config(
+            n_nodes=N_NODES, n_clusters=2, rounds=ROUNDS, seed=seed,
+            faults=plan,
+        )
+        result = run_simulation(config, QLECProtocol())
+        result.validate()  # includes the fault-accounting invariants
+        assert result.total_energy >= 0.0
+        assert result.packets.delivered <= result.packets.generated
+        assert 0.0 <= result.delivery_rate <= 1.0
+        assert result.faults["injected"] == (
+            result.faults["absorbed"] + result.faults["fatal"]
+        )
+
+    @given(plan=fault_plans, seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=12, deadline=None)
+    def test_scalar_equals_batched_under_any_plan(self, plan, seed):
+        config = make_config(
+            n_nodes=N_NODES, n_clusters=2, rounds=ROUNDS, seed=seed,
+            faults=plan,
+        )
+        batched = run_simulation(config, QLECProtocol(), batched=True)
+        scalar = run_simulation(config, QLECProtocol(), batched=False)
+        assert batched.summary() == scalar.summary()
+        assert batched.faults == scalar.faults
+        np.testing.assert_array_equal(
+            batched.residual_final, scalar.residual_final
+        )

@@ -1,0 +1,115 @@
+"""Graceful-degradation acceptance: a mid-round CH kill must dent PDR
+for at most a bounded number of rounds, after which delivery returns to
+within 10 % of its pre-fault level (members re-attach to live heads or
+fall back to the BS; retries are budgeted, not unbounded)."""
+
+import numpy as np
+
+from repro.config import paper_config
+from repro.core import QLECProtocol
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    build_fault_plan,
+    per_round_pdr,
+    rounds_to_recover,
+)
+from repro.simulation import run_simulation
+from tests.conftest import make_config
+
+#: Acceptance bound: PDR back within 10 % of the pre-fault baseline in
+#: at most this many rounds after the fault round.
+MAX_RECOVERY_ROUNDS = 3
+
+
+class TestCHKillRecovery:
+    def test_mid_round_ch_kill_recovers_on_paper_network(self):
+        """The acceptance scenario: the Table-2 network, two cluster
+        heads assassinated mid-round."""
+        config = paper_config(seed=0, rounds=12)
+        plan = build_fault_plan("ch-kill-mid", config)
+        fault_round = plan.events[0].round
+        result = run_simulation(config.replace(faults=plan), QLECProtocol())
+        result.validate()
+        assert result.faults["deaths_by_cause"]["ch_kill"] == 2
+
+        lag = rounds_to_recover(result, fault_round, threshold=0.9)
+        assert lag is not None, "PDR never recovered after the CH kill"
+        assert lag <= MAX_RECOVERY_ROUNDS
+
+    def test_recovery_beats_naive_degradation(self):
+        """With ``recovery=False`` senders keep banging on the dead
+        head through the stock ARQ; masking + re-attachment must not
+        deliver less in the fault round."""
+        config = make_config(seed=1, rounds=8, mean_interarrival=2.0)
+        events = (
+            FaultEvent(
+                kind="ch_kill", round=2,
+                slot=config.traffic.slots_per_round // 2, count=2,
+            ),
+        )
+        helped = run_simulation(
+            config.replace(faults=FaultPlan(events=events, recovery=True)),
+            QLECProtocol(),
+        )
+        naive = run_simulation(
+            config.replace(faults=FaultPlan(events=events, recovery=False)),
+            QLECProtocol(),
+        )
+        helped.validate()
+        naive.validate()
+        assert (
+            helped.per_round[2].packets.delivered
+            >= naive.per_round[2].packets.delivered
+        )
+
+    def test_retry_budget_bounds_energy(self):
+        """A tighter retry budget cannot spend more energy than a
+        looser one under the same blackout (retries are the only knob
+        that differs)."""
+        config = make_config(seed=2, rounds=5, initial_energy=1.0)
+        events = (FaultEvent(kind="blackout", round=1, duration=3),)
+        tight = run_simulation(
+            config.replace(
+                faults=FaultPlan(events=events, retry_budget=1)
+            ),
+            QLECProtocol(),
+        )
+        loose = run_simulation(
+            config.replace(
+                faults=FaultPlan(events=events, retry_budget=64)
+            ),
+            QLECProtocol(),
+        )
+        assert tight.total_energy <= loose.total_energy + 1e-12
+
+
+class TestRecoveryMetrics:
+    def test_per_round_pdr_shape(self):
+        result = run_simulation(make_config(seed=3), QLECProtocol())
+        pdr = per_round_pdr(result)
+        assert len(pdr) == result.rounds_executed
+        assert np.all(np.asarray(pdr) >= 0.0)
+
+    def test_rounds_to_recover_zero_when_no_dip(self):
+        """A plan whose fault changes nothing (reviving nobody) keeps
+        PDR at baseline: recovery lag is 0."""
+        plan = FaultPlan(
+            events=(FaultEvent(kind="revive", round=4, count=1),)
+        )
+        result = run_simulation(
+            make_config(seed=4, rounds=8, initial_energy=1.0, faults=plan),
+            QLECProtocol(),
+        )
+        assert rounds_to_recover(result, 4, threshold=0.5) == 0
+
+    def test_rounds_to_recover_none_when_never(self):
+        """A blackout that lasts to the end of the run never recovers."""
+        plan = FaultPlan(
+            events=(FaultEvent(kind="blackout", round=4, duration=10),)
+        )
+        result = run_simulation(
+            make_config(seed=5, rounds=8, initial_energy=1.0, faults=plan),
+            QLECProtocol(),
+        )
+        assert rounds_to_recover(result, 4) is None

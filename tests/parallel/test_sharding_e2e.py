@@ -17,6 +17,7 @@ from repro.parallel.sharding import (
     CELL_ERROR_KIND,
     CELL_KIND,
     SweepSpec,
+    classify_error,
     load_artifact,
     merge_artifacts,
     run_shard,
@@ -221,7 +222,7 @@ def _reset_fault():
 
 def faulty_cell(
     protocol, lam, seed, initial_energy, rounds, stop, telemetry,
-    backend="auto",
+    backend="auto", faults=None,
 ):
     key = (protocol, lam, seed)
     _FAULT["calls"][key] = _FAULT["calls"].get(key, 0) + 1
@@ -233,6 +234,7 @@ def faulty_cell(
         protocol, lam, seed,
         initial_energy=initial_energy, rounds=rounds,
         stop_on_death=stop, telemetry=telemetry, backend=backend,
+        faults=faults,
     )
 
 
@@ -320,3 +322,101 @@ class TestFailurePaths:
         )
         assert len(result.errors) == len(SPEC)
         assert all(e["attempts"] == 1 for e in result.errors)
+
+
+def _deterministic_faulty_cell(
+    protocol, lam, seed, initial_energy, rounds, stop, telemetry,
+    backend="auto", faults=None,
+):
+    """Fails like a code bug, not like a flaky environment."""
+    key = (protocol, lam, seed)
+    _FAULT["calls"][key] = _FAULT["calls"].get(key, 0) + 1
+    if seed in _FAULT["seeds"]:
+        raise ValueError(f"deterministic bug for seed {seed}")
+    return run_cell(
+        protocol, lam, seed,
+        initial_energy=initial_energy, rounds=rounds,
+        stop_on_death=stop, telemetry=telemetry, backend=backend,
+        faults=faults,
+    )
+
+
+class TestErrorClassification:
+    def setup_method(self):
+        _reset_fault()
+
+    def test_classify_error(self):
+        assert classify_error(ValueError("x")) == "deterministic"
+        assert classify_error(KeyError("x")) == "deterministic"  # LookupError
+        assert classify_error(ZeroDivisionError()) == "deterministic"
+        assert classify_error(RuntimeError("x")) == "transient"
+        assert classify_error(OSError("x")) == "transient"
+        assert classify_error(MemoryError()) == "transient"
+
+    def test_deterministic_error_is_not_retried(self, tmp_path):
+        _FAULT["seeds"] = {1}
+        result = run_shard(
+            SPEC, 1, 1, tmp_path / "shard.jsonl",
+            serial=True, cell_fn=_deterministic_faulty_cell, retries=3,
+        )
+        bad = {c.cell_id for c in SPEC.cells() if c.seed == 1}
+        assert {e["cell_id"] for e in result.errors} == bad
+        # One attempt each despite the generous retry budget: replaying
+        # a pure function of the inputs cannot heal it.
+        assert all(e["attempts"] == 1 for e in result.errors)
+        for key, calls in _FAULT["calls"].items():
+            assert calls == 1, key
+
+    def test_error_rows_record_class(self, tmp_path):
+        _FAULT["seeds"] = {1}
+        run_shard(
+            SPEC, 1, 1, tmp_path / "det.jsonl",
+            serial=True, cell_fn=_deterministic_faulty_cell, retries=1,
+        )
+        art = load_artifact(tmp_path / "det.jsonl")
+        assert all(
+            r["error"]["class"] == "deterministic" for r in art.error_rows
+        )
+        run_shard(
+            SPEC, 1, 1, tmp_path / "trans.jsonl",
+            serial=True, cell_fn=faulty_cell, retries=1,
+        )
+        art = load_artifact(tmp_path / "trans.jsonl")
+        assert art.error_rows  # RuntimeError seam
+        assert all(
+            r["error"]["class"] == "transient" for r in art.error_rows
+        )
+        assert all(r["attempts"] == 2 for r in art.error_rows)
+
+
+class TestFaultSweeps:
+    SPEC_CHAOS = SweepSpec(
+        protocols=("direct", "kmeans"), lambdas=(4.0,), seeds=(0, 1),
+        rounds=4, faults="churn",
+    )
+
+    def test_fault_cells_never_collide_with_fault_free(self):
+        plain = SweepSpec(
+            protocols=self.SPEC_CHAOS.protocols,
+            lambdas=self.SPEC_CHAOS.lambdas,
+            seeds=self.SPEC_CHAOS.seeds,
+            rounds=self.SPEC_CHAOS.rounds,
+        )
+        chaos_ids = {c.cell_id for c in self.SPEC_CHAOS.cells()}
+        plain_ids = {c.cell_id for c in plain.cells()}
+        assert not chaos_ids & plain_ids
+
+    def test_sharded_fault_sweep_equals_serial(self, tmp_path):
+        serial = sweep_from_spec(self.SPEC_CHAOS, serial=True)
+        results = _run_all_shards(self.SPEC_CHAOS, 2, tmp_path)
+        merged = merge_artifacts(
+            [r.path for r in results]
+        ).require_complete()
+        assert merged.sweep.rows == serial.rows
+
+    def test_spec_payload_round_trips_faults(self):
+        payload = self.SPEC_CHAOS.to_payload()
+        assert payload["faults"] == "churn"
+        again = SweepSpec.from_payload(json.loads(json.dumps(payload)))
+        assert again == self.SPEC_CHAOS
+        assert again.fingerprint == self.SPEC_CHAOS.fingerprint

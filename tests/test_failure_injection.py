@@ -1,5 +1,12 @@
 """Failure-injection tests: the system must degrade gracefully, never
-crash, and keep its accounting invariants under hostile conditions."""
+crash, and keep its accounting invariants under hostile conditions.
+
+The adverse conditions are expressed through the ``repro.faults`` plan
+API — seeded, scheduled, and accounted — rather than by poking engine
+internals; one regression test keeps the direct ``channel.blackout``
+toggle alive because ad-hoc state injection between rounds is itself a
+supported (if unaccounted) debugging technique.
+"""
 
 import numpy as np
 import pytest
@@ -7,6 +14,7 @@ import pytest
 from repro.baselines import DirectProtocol, KMeansProtocol
 from repro.config import QueueConfig
 from repro.core import QLECProtocol
+from repro.faults import FaultEvent, FaultPlan
 from repro.simulation.engine import SimulationEngine, run_simulation
 from tests.conftest import make_config
 
@@ -14,23 +22,40 @@ from tests.conftest import make_config
 class TestChannelBlackout:
     @pytest.mark.parametrize("protocol_cls", [QLECProtocol, KMeansProtocol])
     def test_total_blackout_delivers_nothing(self, protocol_cls):
-        engine = SimulationEngine(make_config(seed=1), protocol_cls())
-        engine.state.channel.blackout = True
-        result = engine.run()
+        plan = FaultPlan(
+            events=(FaultEvent(kind="blackout", round=0, duration=5),),
+        )
+        result = run_simulation(make_config(seed=1, faults=plan), protocol_cls())
         result.validate()
         assert result.packets.delivered == 0
         # Senders still burned energy on the attempts.
         assert result.total_energy > 0.0
+        assert result.faults["injected"] == 1
 
     def test_blackout_mid_run(self):
-        engine = SimulationEngine(make_config(seed=2, rounds=6), QLECProtocol())
+        plan = FaultPlan(
+            events=(FaultEvent(kind="blackout", round=3, duration=3),),
+        )
+        engine = SimulationEngine(
+            make_config(seed=2, rounds=6, faults=plan), QLECProtocol()
+        )
         for _ in range(3):
             engine.run_round()
         delivered_before = engine._totals.delivered
-        engine.state.channel.blackout = True
         for _ in range(3):
             engine.run_round()
         assert engine._totals.delivered == delivered_before
+
+    def test_direct_blackout_poke_still_works(self):
+        """Regression: toggling ``channel.blackout`` by hand between
+        rounds (no plan, no accounting) must keep behaving — it is the
+        escape hatch for conditions the plan language cannot express."""
+        engine = SimulationEngine(make_config(seed=1), QLECProtocol())
+        engine.state.channel.blackout = True
+        result = engine.run()
+        result.validate()
+        assert result.packets.delivered == 0
+        assert result.faults is None  # unplanned chaos is unaccounted
 
 
 class TestQueueStarvation:
@@ -42,6 +67,19 @@ class TestQueueStarvation:
         result.validate()
         # Every head-bound packet bounced; only channel losses add up.
         assert result.packets.delivered == 0 or result.packets.dropped_queue > 0
+
+    def test_queue_clamp_window(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(kind="queue_clamp", round=1, duration=2, capacity=1),
+            ),
+        )
+        result = run_simulation(
+            make_config(seed=3, mean_interarrival=2.0, faults=plan),
+            QLECProtocol(),
+        )
+        result.validate()
+        assert result.faults["events_by_kind"].get("queue_clamp") == 1
 
 
 class TestMassDeath:
@@ -60,17 +98,34 @@ class TestMassDeath:
         result = engine.run()
         assert result.packets.mean_hops <= 1.0
 
-    def test_relay_death_mid_round_accounted(self):
-        """Killing nodes mid-run must not break packet conservation."""
+    def test_half_population_crash_mid_run_accounted(self):
+        """Crashing half the population mid-run must not break packet
+        conservation, and every death must carry its cause."""
         config = make_config(seed=6, rounds=6, mean_interarrival=2.0)
-        engine = SimulationEngine(config, KMeansProtocol())
-        engine.run_round()
-        # Assassinate half the population between rounds.
-        engine.state.ledger.discharge(np.arange(0, engine.state.n, 2), 10.0, "tx")
-        for _ in range(5):
-            engine.run_round()
-        totals = engine._totals
-        assert totals.generated >= totals.delivered + totals.dropped
+        n = config.deployment.n_nodes
+        plan = FaultPlan(
+            events=(
+                FaultEvent(kind="crash", round=1, nodes=tuple(range(0, n, 2))),
+            ),
+        )
+        result = run_simulation(config.replace(faults=plan), KMeansProtocol())
+        result.validate()
+        p = result.packets
+        assert p.generated >= p.delivered + p.dropped
+        assert result.faults["deaths_by_cause"]["crash"] == n // 2 + n % 2
+
+    def test_churn_revives_crashed_nodes(self):
+        config = make_config(seed=6, rounds=6)
+        victims = (0, 1, 2)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(kind="crash", round=1, nodes=victims),
+                FaultEvent(kind="revive", round=3, nodes=victims),
+            ),
+        )
+        result = run_simulation(config.replace(faults=plan), QLECProtocol())
+        result.validate()
+        assert result.faults["revived"] == len(victims)
 
 
 class TestDegenerateScales:
@@ -102,3 +157,19 @@ class TestDegenerateScales:
         )
         result = run_simulation(config, QLECProtocol())
         result.validate()
+
+    def test_crash_entire_population_via_plan(self):
+        """A plan that kills everyone: the engine must finish the run
+        with empty rounds and conserved accounting."""
+        config = make_config(seed=12, rounds=4)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    kind="crash", round=1,
+                    nodes=tuple(range(config.deployment.n_nodes)),
+                ),
+            ),
+        )
+        result = run_simulation(config.replace(faults=plan), QLECProtocol())
+        result.validate()
+        assert result.n_alive_final == 0
