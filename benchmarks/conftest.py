@@ -15,6 +15,11 @@ import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Repository root — machine-readable benchmark artifacts are mirrored
+#: here (``BENCH_<name>.json``) so CI regression gates and reviewers
+#: find them without digging into the results directory.
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
 
 def publish(name: str, text: str) -> None:
     """Print a report block and persist it to benchmarks/results/."""
@@ -28,10 +33,16 @@ def publish_json(name: str, payload: dict) -> pathlib.Path:
 
     The ASCII reports from :func:`publish` are for humans; this is the
     companion artifact for tooling (CI comparisons, regression diffs).
-    Payloads must be JSON-serialisable as written — no coercion.
+    Payloads must be JSON-serialisable as written — no coercion.  The
+    artifact is written twice: under ``benchmarks/results/`` alongside
+    the ASCII report, and mirrored at the repository root where the CI
+    gates pick it up.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
     path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
-    print(f"\nwrote {path}")
+    path.write_text(text)
+    root_path = REPO_ROOT / f"BENCH_{name}.json"
+    root_path.write_text(text)
+    print(f"\nwrote {path} (mirrored at {root_path})")
     return path

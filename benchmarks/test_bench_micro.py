@@ -20,7 +20,10 @@ from repro.energy.radio import FirstOrderRadio
 from repro.network.channel import delivery_probability
 from repro.network.topology import pairwise_distances
 from repro.simulation.state import NetworkState
+from repro.telemetry import config_fingerprint
 from tests.conftest import make_config
+
+from conftest import publish_json
 
 
 @pytest.fixture(scope="module")
@@ -188,4 +191,16 @@ def test_slot_kernel_speedup_and_identity():
         aggregates[batched] = _round_aggregates(rs)
     assert aggregates[True] == aggregates[False]
     speedup = timings[False] / timings[True]
+    publish_json(
+        "slot_kernel",
+        {
+            "bench": "slot_kernel",
+            "config_fingerprint": config_fingerprint(cfg),
+            "n_nodes": cfg.deployment.n_nodes,
+            "rounds": 1,
+            "seconds": {"batched": timings[True], "scalar": timings[False]},
+            "speedup": speedup,
+            "speedup_floor": 3.0,
+        },
+    )
     assert speedup >= 3.0, f"slot kernel speedup regressed: {speedup:.2f}x"

@@ -40,6 +40,7 @@ MANIFEST_KEYS = {
     "rounds": int,
     "mean_interarrival": (int, float),
     "backend": str,
+    "equivalence": str,
     "backend_versions": dict,
 }
 
@@ -64,6 +65,7 @@ CELL_KEYS = {
     "seed": int,
     "config_fingerprint": str,
     "backend": str,
+    "equivalence": str,
     "attempts": int,
 }
 
@@ -129,6 +131,33 @@ def check_cell_record(obj: dict, where: str) -> list[str]:
     return errors
 
 
+def check_tolerance_record(obj: dict, where: str) -> list[str]:
+    """A ``kind: "tolerance"`` line documents one entry of the gate's
+    tolerance schema; it must match the code in
+    ``repro.kernels.gates.METRIC_TOLERANCES`` exactly, so the docs can
+    never advertise allowances the gate does not enforce."""
+    from repro.kernels.gates import METRIC_TOLERANCES
+
+    errors = []
+    metric = obj.get("metric")
+    if metric not in METRIC_TOLERANCES:
+        errors.append(
+            f"{where}: tolerance metric {metric!r} is not gated "
+            f"(known: {sorted(METRIC_TOLERANCES)})"
+        )
+        return errors
+    declared = METRIC_TOLERANCES[metric]
+    for key in ("abs", "rel"):
+        if not isinstance(obj.get(key), (int, float)):
+            errors.append(f"{where}: tolerance needs numeric {key!r}")
+        elif float(obj[key]) != float(declared[key]):
+            errors.append(
+                f"{where}: tolerance {key}={obj[key]} for {metric!r} "
+                f"disagrees with METRIC_TOLERANCES ({declared[key]})"
+            )
+    return errors
+
+
 def check_round_record(obj: dict, where: str) -> list[str]:
     known = {f.name for f in fields(RoundTrace)}
     unknown = set(obj) - known
@@ -170,6 +199,8 @@ def check_file(path: Path) -> list[str]:
                     errors.append(
                         f"{where}: shard-telemetry needs a dict 'snapshot'"
                     )
+            elif kind == "tolerance":
+                errors.extend(check_tolerance_record(obj, where))
             else:
                 errors.extend(check_round_record(obj, where))
     return errors

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI gate: qualify the statistical equivalence tier distributionally.
+
+Runs the declared seed batch under the bitwise numpy reference and
+under the candidate backend in the statistical tier, then checks every
+gated metric's batch mean against the tolerances declared in
+``repro.kernels.gates.METRIC_TOLERANCES``.  Exit 0 iff every metric of
+every gated cell passes; failures print the offending metric, the two
+means, and the allowance, so a drifting kernel is diagnosable from the
+CI log alone.
+
+Usage:
+    PYTHONPATH=src python scripts/check_statistical_gates.py \
+        [--backend auto] [--seeds 10] [--rounds 6] \
+        [--protocols qlec fcm] [--lambdas 16.0] [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", type=str, default="auto",
+                        help="candidate backend to gate (resolved per host)")
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="size of the seed batch (seeds 0..N-1)")
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--protocols", type=str, nargs="+", default=["qlec"])
+    parser.add_argument("--lambdas", type=float, nargs="+", default=[16.0])
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the full gate report as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.kernels import run_statistical_gate
+
+    report = run_statistical_gate(
+        backend=args.backend,
+        protocols=tuple(args.protocols),
+        lambdas=tuple(args.lambdas),
+        seeds=tuple(range(args.seeds)),
+        rounds=args.rounds,
+    )
+
+    for cell in report.cells:
+        print(
+            f"[gate] {cell['protocol']} lambda={cell['lambda']} "
+            f"backend={cell['resolved_backend']} "
+            f"({report.n_seeds} seeds)"
+        )
+        for m in cell["metrics"]:
+            status = "ok  " if m["passed"] else "FAIL"
+            print(
+                f"  {status} {m['metric']:<14} ref={m['ref_mean']:.6g} "
+                f"cand={m['cand_mean']:.6g} |d|={m['delta']:.3g} "
+                f"tol={m['tolerance']:.3g}"
+            )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"[gate] wrote {args.json}")
+
+    if not report.passed:
+        print(
+            f"[gate] FAILED: {len(report.failures)} metric(s) outside "
+            "tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print("[gate] statistical tier within declared tolerances")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

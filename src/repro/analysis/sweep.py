@@ -66,6 +66,8 @@ def run_cell(
     telemetry: bool = False,
     backend: str = "auto",
     faults: str | None = None,
+    equivalence: str = "bitwise",
+    max_block_mb: float | None = None,
 ) -> dict:
     """One sweep cell: build the Table-2 scenario and run one protocol.
 
@@ -85,6 +87,12 @@ def run_cell(
     :data:`repro.faults.FAULT_SCENARIOS`; the plan is materialised
     against the cell's config (so the chaos scales with the scenario)
     and, being a config field, hashes into the fingerprint/cell ID.
+
+    ``equivalence`` declares the cell's numeric tier
+    (:data:`repro.kernels.EQUIVALENCE_CHOICES`) and ``max_block_mb``
+    bounds the distance-block footprint for large-N scenarios; both
+    are config fields, so both hash into the fingerprint/cell ID —
+    bitwise and statistical artifacts can never silently mix.
     """
     if protocol not in PROTOCOLS:
         raise KeyError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
@@ -96,6 +104,8 @@ def run_cell(
             initial_energy=initial_energy,
         ),
         backend=resolve_backend_name(backend),
+        equivalence=equivalence,
+        max_block_mb=max_block_mb,
     )
     if faults:
         from ..faults import build_fault_plan
@@ -172,6 +182,8 @@ def sweep_protocols(
     telemetry: bool = False,
     backend: str = "auto",
     faults: str | None = None,
+    equivalence: str = "bitwise",
+    max_block_mb: float | None = None,
 ) -> SweepResult:
     """Run the full (protocol x lambda x seed) grid in parallel.
 
@@ -194,6 +206,8 @@ def sweep_protocols(
         telemetry=telemetry,
         backend=backend,
         faults=faults,
+        equivalence=equivalence,
+        max_block_mb=max_block_mb,
     )
     return sweep_from_spec(spec, max_workers=max_workers, serial=serial)
 

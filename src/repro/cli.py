@@ -31,7 +31,21 @@ def _add_backend_arg(cmd: argparse.ArgumentParser) -> None:
         choices=("auto", "numpy", "numba"),
         help="kernel backend for the batched slot pipeline; 'auto' "
              "prefers the compiled backend and falls back to the numpy "
-             "reference (all backends are bit-identical)",
+             "reference (bit-identical under the default tier)",
+    )
+    cmd.add_argument(
+        "--equivalence", type=str, default="bitwise",
+        choices=("bitwise", "statistical"),
+        help="numeric equivalence tier: 'bitwise' (default) guarantees "
+             "bit-identical results across backends and admits golden "
+             "traces; 'statistical' licenses reassociated/fastmath "
+             "kernels validated distributionally (see docs/kernels.md)",
+    )
+    cmd.add_argument(
+        "--max-block-mb", type=float, default=None, metavar="MB",
+        help="stream the relay-scoring distance block in chunks so its "
+             "temporaries stay under this budget (large-N runs); "
+             "bit-identical to the unblocked computation",
     )
 
 
@@ -180,6 +194,7 @@ def _cmd_quickstart(args) -> int:
         run_cell(
             name, args.lam, args.seed,
             telemetry=args.telemetry, backend=args.backend,
+            equivalence=args.equivalence, max_block_mb=args.max_block_mb,
         )
         for name in ("qlec", "fcm", "kmeans", "deec", "leach", "direct")
     ]
@@ -207,6 +222,8 @@ def _cmd_fig3(args) -> int:
                 serial=args.serial,
                 telemetry=args.telemetry,
                 backend=args.backend,
+                equivalence=args.equivalence,
+                max_block_mb=args.max_block_mb,
             )
         )
     print(result.render())
@@ -228,6 +245,8 @@ def _cmd_fig4(args) -> int:
             dataset_path=args.csv,
             compare=("fcm", "kmeans") if args.compare else (),
             backend=args.backend,
+            equivalence=args.equivalence,
+            max_block_mb=args.max_block_mb,
         )
     )
     print(report.render())
@@ -319,6 +338,10 @@ def _cmd_scenario(args) -> int:
         print("\n".join(scenario_names()))
         return 0
     config, nodes, bs = build_scenario(args.name, seed=args.seed)
+    if args.equivalence != "bitwise" or args.max_block_mb is not None:
+        config = config.replace(
+            equivalence=args.equivalence, max_block_mb=args.max_block_mb
+        )
     if args.faults:
         from .faults import build_fault_plan
 
@@ -368,6 +391,8 @@ def _cmd_sweep(args) -> int:
         telemetry=args.telemetry,
         backend=args.backend,
         faults=args.faults,
+        equivalence=args.equivalence,
+        max_block_mb=args.max_block_mb,
     )
     out = args.out or f"sweep-shard-{shard}of{num_shards}.jsonl"
     result = run_shard(
@@ -448,14 +473,15 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    from .kernels import BackendUnavailableError
+    from .kernels import BackendUnavailableError, EquivalenceError
 
     try:
         return _COMMANDS[args.command](args)
-    except BackendUnavailableError as exc:
-        # An explicitly requested backend the host cannot provide is a
-        # usage error, not a crash: say what is missing and how to
-        # proceed, exit distinctly.
+    except (BackendUnavailableError, EquivalenceError) as exc:
+        # An explicitly requested backend the host cannot provide — or
+        # a tier combination the policy forbids (statistical + golden
+        # traces, cross-tier merges) — is a usage error, not a crash:
+        # say what is wrong and how to proceed, exit distinctly.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -27,6 +27,7 @@ if typing.TYPE_CHECKING:  # imported lazily to keep config dependency-free
     from .network.mobility import MobilityConfig
 
 __all__ = [
+    "EQUIVALENCE_CHOICES",
     "RadioConfig",
     "QLearningConfig",
     "TrafficConfig",
@@ -36,6 +37,14 @@ __all__ = [
     "PaperConfig",
     "paper_config",
 ]
+
+#: Numeric equivalence tiers a run may declare (single source of truth;
+#: ``repro.kernels`` re-exports it).  ``bitwise`` is the CI-gated
+#: default: every backend reproduces the numpy reference bit for bit.
+#: ``statistical`` admits reassociating reducers and fastmath-compiled
+#: kernels, verified distributionally (``repro.kernels.gates``) instead
+#: of bitwise.
+EQUIVALENCE_CHOICES = ("bitwise", "statistical")
 
 
 @dataclass(frozen=True)
@@ -279,6 +288,25 @@ class SimulationConfig:
     #: but the *resolved* name is part of run identity (manifests,
     #: sharding cell IDs) and therefore of the config fingerprint.
     backend: str = "auto"
+    #: Numeric equivalence tier (see :data:`EQUIVALENCE_CHOICES`).
+    #: ``bitwise`` (default) keeps the golden-trace guarantees: every
+    #: kernel reproduces the numpy reference bit for bit.
+    #: ``statistical`` licenses reassociating reducers (GEMM-form
+    #: distances) and fastmath compilation; results are validated
+    #: distributionally (per-metric means over seed batches within the
+    #: declared tolerances of :mod:`repro.kernels.gates`) rather than
+    #: bitwise.  The tier is part of run identity: it fingerprints,
+    #: rides in manifests, and hashes into sharding cell IDs, so
+    #: artifacts from different tiers never silently mix.
+    equivalence: str = "bitwise"
+    #: Memory budget (MiB) for the dense ``(senders, actions)`` distance
+    #: blocks of the batched relay-scoring path.  ``None`` computes each
+    #: block in one shot; a budget streams the block in row chunks
+    #: sized to fit (bit-identical per row — the reduction is per
+    #: element — so the bitwise tier is unaffected).  Large deployments
+    #: (N >= 1e5) should set this to keep peak memory O(budget) instead
+    #: of O(senders x actions).
+    max_block_mb: float | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -300,6 +328,13 @@ class SimulationConfig:
         # backends work; resolution validates against the registry.
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError("backend must be a non-empty selector string")
+        if self.equivalence not in EQUIVALENCE_CHOICES:
+            raise ValueError(
+                f"equivalence must be one of {EQUIVALENCE_CHOICES}, "
+                f"got {self.equivalence!r}"
+            )
+        if self.max_block_mb is not None and self.max_block_mb <= 0.0:
+            raise ValueError("max_block_mb must be positive when given")
 
     def replace(self, **changes) -> "SimulationConfig":
         """Return a copy with ``changes`` applied (nested keys allowed

@@ -56,6 +56,10 @@ class Fig3Config:
     telemetry: bool = False
     #: Kernel-backend selector for every cell (``auto``/``numpy``/...).
     backend: str = "auto"
+    #: Numeric equivalence tier (``bitwise``/``statistical``).
+    equivalence: str = "bitwise"
+    #: Optional distance-block memory budget in MiB (large-N runs).
+    max_block_mb: float | None = None
 
 
 @dataclass
@@ -113,6 +117,8 @@ def fig3_spec(config: Fig3Config | None = None) -> SweepSpec:
         initial_energy=cfg.initial_energy,
         rounds=cfg.rounds,
         telemetry=cfg.telemetry,
+        equivalence=cfg.equivalence,
+        max_block_mb=cfg.max_block_mb,
     )
 
 
@@ -132,6 +138,8 @@ def run_fig3(
             max_workers=cfg.max_workers,
             telemetry=cfg.telemetry,
             backend=cfg.backend,
+            equivalence=cfg.equivalence,
+            max_block_mb=cfg.max_block_mb,
         )
     lams = list(cfg.lambdas)
     return Fig3Result(
@@ -162,6 +170,8 @@ def fig3_from_artifacts(paths) -> Fig3Result:
         initial_energy=spec.initial_energy,
         rounds=spec.rounds,
         telemetry=spec.telemetry,
+        equivalence=spec.equivalence,
+        max_block_mb=spec.max_block_mb,
     )
     return run_fig3(cfg, sweep=merged.sweep)
 

@@ -9,16 +9,31 @@ Public surface of the subsystem (see ``docs/kernels.md``):
   resolution (``auto`` / ``numpy`` / ``numba`` / a registered name).
 * :func:`register_backend`, :func:`available_backends`,
   :func:`backend_versions` — registry and capability detection.
+* :data:`EQUIVALENCE_CHOICES` / :class:`EquivalenceError` — the
+  numeric equivalence tiers and their policy violation.
+* :func:`run_statistical_gate` / :data:`METRIC_TOLERANCES` — the
+  distributional gate that qualifies statistical-tier backends.
 
-Every backend is bit-identical to the numpy reference by contract;
-selection changes wall-clock only, never results.
+Under the default ``bitwise`` tier every backend is bit-identical to
+the numpy reference by contract — selection changes wall-clock only,
+never results.  The ``statistical`` tier trades that guarantee for
+reassociated/fastmath kernels, gated distributionally instead
+(:mod:`repro.kernels.gates`).
 """
 
-from .base import BackendUnavailableError, KernelBackend
+from .base import BackendUnavailableError, EquivalenceError, KernelBackend
+from .gates import (
+    GATED_METRICS,
+    METRIC_TOLERANCES,
+    GateMetric,
+    GateReport,
+    run_statistical_gate,
+)
 from .numba_backend import NumbaBackend, numba_version
 from .numpy_backend import NumpyBackend
 from .registry import (
     BACKEND_CHOICES,
+    EQUIVALENCE_CHOICES,
     available_backends,
     backend_available,
     backend_names,
@@ -32,7 +47,13 @@ from .registry import (
 
 __all__ = [
     "BACKEND_CHOICES",
+    "EQUIVALENCE_CHOICES",
+    "GATED_METRICS",
+    "METRIC_TOLERANCES",
     "BackendUnavailableError",
+    "EquivalenceError",
+    "GateMetric",
+    "GateReport",
     "KernelBackend",
     "NumbaBackend",
     "NumpyBackend",
@@ -46,4 +67,5 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "resolve_backend_name",
+    "run_statistical_gate",
 ]

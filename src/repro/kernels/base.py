@@ -7,13 +7,26 @@ plus the Q-combine behind relay scoring.  The engine resolves one
 backend per run and threads it through the substrates; protocols and
 the engine itself never branch on the backend.
 
-Equivalence policy (load-bearing — read before adding a backend)
+Equivalence tiers (load-bearing — read before adding a backend)
 ----------------------------------------------------------------
-Every backend MUST be **bit-identical** to the numpy reference on every
-method, for all inputs the substrates produce.  The golden traces and
-the scalar/batched equivalence suite enforce this end-to-end; the
-property suite in ``tests/kernels`` enforces it per kernel.  Three
-rules make bit-equivalence achievable at all:
+Every backend instance operates under an **equivalence tier**
+(:data:`EQUIVALENCE_CHOICES`, from :mod:`repro.config`):
+
+* ``bitwise`` (default) — the instance MUST be bit-identical to the
+  numpy reference on every method, for all inputs the substrates
+  produce.  The golden traces and the scalar/batched equivalence suite
+  enforce this end-to-end; the property suite in ``tests/kernels``
+  enforces it per kernel.
+* ``statistical`` — the instance may reassociate reductions (GEMM-form
+  distances) and compile with fastmath; correctness is enforced
+  *distributionally* by :mod:`repro.kernels.gates` (per-metric means
+  over a seed batch vs the numpy reference, within declared
+  tolerances).  A bitwise instance trivially satisfies the statistical
+  tier; the converse never holds, so the registry refuses to serve a
+  statistical instance to a bitwise run
+  (:class:`EquivalenceError`).
+
+Three rules make the *bitwise* tier achievable at all:
 
 1. **Exact ops only inside kernels.**  IEEE-754 ``+ - * /``, ``sqrt``,
    comparisons, min/max and integer ops are correctly rounded and give
@@ -47,12 +60,26 @@ from typing import ClassVar
 
 import numpy as np
 
-__all__ = ["BackendUnavailableError", "KernelBackend"]
+from ..config import EQUIVALENCE_CHOICES
+
+__all__ = [
+    "EQUIVALENCE_CHOICES",
+    "BackendUnavailableError",
+    "EquivalenceError",
+    "KernelBackend",
+]
 
 
 class BackendUnavailableError(RuntimeError):
     """An explicitly requested backend cannot run in this environment
     (e.g. ``--backend numba`` without the optional numba package)."""
+
+
+class EquivalenceError(RuntimeError):
+    """An equivalence-tier policy violation: a statistical-tier backend
+    offered to a bitwise run, a statistical run asked to record golden
+    traces, or a cross-tier artifact merge.  The CLI turns this into
+    exit code 2 (a usage error, like :class:`BackendUnavailableError`)."""
 
 
 class KernelBackend(abc.ABC):
@@ -66,16 +93,58 @@ class KernelBackend(abc.ABC):
     #: Registry name ("numpy", "numba", ...); never "auto".
     name: ClassVar[str] = ""
 
+    #: Equivalence tier the instance operates under (see module
+    #: docstring).  Class default is the strict tier; tier-aware
+    #: constructors set the instance attribute.
+    equivalence: str = "bitwise"
+
     # -- geometry ------------------------------------------------------
     @abc.abstractmethod
     def distance_block(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
         """Euclidean distance block ``(len(src), len(dst))`` between two
         position sets of shape ``(n, 3)`` / ``(m, 3)``.
 
-        Reference-pinned (see module docstring): the sum of squares must
-        reproduce numpy's ``einsum`` reduction bit-for-bit, so every
-        backend runs the same numpy code here.
+        Reference-pinned in the bitwise tier (see module docstring): the
+        sum of squares must reproduce numpy's ``einsum`` reduction
+        bit-for-bit, so every bitwise backend runs the same numpy code
+        here.  Statistical-tier instances may use the reassociating
+        GEMM expansion instead.
         """
+
+    def distance_block_blocked(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        max_block_mb: float | None = None,
+    ) -> np.ndarray:
+        """:meth:`distance_block`, streamed over sender-row chunks.
+
+        ``max_block_mb`` bounds the peak temporary footprint of the
+        computation: rows of ``src`` are processed in chunks sized so
+        the dominant per-chunk temporaries — the ``(rows, m, 3)``
+        difference block plus the ``(rows, m)`` output slice, float64 —
+        fit the budget.  Each output row is a complete, independent
+        reduction (the sum of squares reduces over the 3 coordinates
+        only), so the chunked result is **bit-identical** to the
+        unblocked call for every chunk size; in the bitwise tier this
+        method is therefore exactly :meth:`distance_block` with bounded
+        memory.  ``None`` (or a budget the whole block already fits)
+        delegates to the one-shot path.
+        """
+        src = np.asarray(src)
+        dst = np.asarray(dst)
+        n, m = src.shape[0], dst.shape[0]
+        if max_block_mb is None or n == 0 or m == 0:
+            return self.distance_block(src, dst)
+        bytes_per_row = 8 * m * 4  # (m, 3) diff + (m,) output, float64
+        rows = max(1, int(max_block_mb * 2**20) // bytes_per_row)
+        if rows >= n:
+            return self.distance_block(src, dst)
+        out = np.empty((n, m), dtype=np.float64)
+        for start in range(0, n, rows):
+            stop = min(start + rows, n)
+            out[start:stop] = self.distance_block(src[start:stop], dst)
+        return out
 
     @abc.abstractmethod
     def distance_pairs(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:

@@ -1,0 +1,196 @@
+"""Distributional gates for the ``statistical`` equivalence tier.
+
+The bitwise tier is enforced by golden traces and per-kernel property
+suites; the statistical tier cannot be (its whole point is to license
+reassociated reductions and fastmath codegen whose bits differ).  What
+it must preserve is the *science*: every headline metric of a run batch
+has to agree with the bitwise numpy reference in distribution.
+
+The gate here is deliberately simple and decision-grade: for each
+(protocol, lambda) cell, run the same seed batch under the reference
+(numpy, bitwise) and under the candidate (chosen backend, statistical)
+and require, per gated metric,
+
+    |mean_cand - mean_ref| <= abs_tol + rel_tol * |mean_ref|
+
+with the tolerances declared in :data:`METRIC_TOLERANCES` (the single
+source of truth — ``docs/kernels.md`` embeds the same table and the
+docs linter cross-checks it against this module).  Tolerances are set
+from observed seed-to-seed spread: each is a small fraction of the
+across-seed standard deviation of the reference metric, so a numeric
+regime that shifts a metric by a scientifically visible amount fails
+loudly while benign last-ulp reassociation passes.
+
+CI runs this via ``scripts/check_statistical_gates.py``; the same
+entry point works locally to qualify a new statistical backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "GATED_METRICS",
+    "METRIC_TOLERANCES",
+    "GateMetric",
+    "GateReport",
+    "run_statistical_gate",
+]
+
+#: Per-metric tolerance schema: ``abs`` is an absolute floor in the
+#: metric's own units, ``rel`` scales with the reference mean.  A
+#: candidate passes when ``|mean_c - mean_r| <= abs + rel * |mean_r|``.
+#: Values are calibrated against the across-seed spread of the numpy
+#: reference on the paper scenario (lambda=16, 10 seeds): each allowance
+#: sits well below one reference standard deviation, so tier drift that
+#: would move a plotted point fails while reassociation noise passes.
+METRIC_TOLERANCES: dict[str, dict[str, float]] = {
+    "pdr": {"abs": 0.02, "rel": 0.0},
+    "energy_J": {"abs": 0.0, "rel": 0.02},
+    "latency_slots": {"abs": 0.25, "rel": 0.05},
+    "delivered": {"abs": 0.0, "rel": 0.03},
+    "alive_final": {"abs": 2.0, "rel": 0.0},
+    "balance_index": {"abs": 0.05, "rel": 0.0},
+}
+
+#: The metrics the gate examines, in report order.
+GATED_METRICS: tuple[str, ...] = tuple(METRIC_TOLERANCES)
+
+
+@dataclass(frozen=True)
+class GateMetric:
+    """One metric's verdict for one (protocol, lambda) cell."""
+
+    metric: str
+    ref_mean: float
+    cand_mean: float
+    delta: float
+    tolerance: float
+    passed: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "ref_mean": self.ref_mean,
+            "cand_mean": self.cand_mean,
+            "delta": self.delta,
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class GateReport:
+    """Full gate outcome: every metric of every gated cell."""
+
+    backend: str
+    n_seeds: int
+    cells: list[dict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(
+            m["passed"] for cell in self.cells for m in cell["metrics"]
+        )
+
+    @property
+    def failures(self) -> list[dict]:
+        return [
+            {"protocol": c["protocol"], "lambda": c["lambda"], **m}
+            for c in self.cells
+            for m in c["metrics"]
+            if not m["passed"]
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "statistical-gate",
+            "backend": self.backend,
+            "n_seeds": self.n_seeds,
+            "passed": self.passed,
+            "cells": self.cells,
+        }
+
+
+def _nan_aware_mean(values: np.ndarray) -> float:
+    if np.isnan(values).all():
+        return float("nan")
+    return float(np.nanmean(values))
+
+
+def _gate_metric(metric: str, ref: np.ndarray, cand: np.ndarray) -> GateMetric:
+    tol = METRIC_TOLERANCES[metric]
+    # latency is NaN when a cell delivers nothing; NaN means must agree
+    # in *kind* (both undefined) and are otherwise compared over the
+    # defined entries only.
+    ref_mean = _nan_aware_mean(ref)
+    cand_mean = _nan_aware_mean(cand)
+    if math.isnan(ref_mean) or math.isnan(cand_mean):
+        passed = math.isnan(ref_mean) and math.isnan(cand_mean)
+        return GateMetric(metric, ref_mean, cand_mean, float("nan"), 0.0, passed)
+    delta = abs(cand_mean - ref_mean)
+    allowance = tol["abs"] + tol["rel"] * abs(ref_mean)
+    return GateMetric(metric, ref_mean, cand_mean, delta, allowance, delta <= allowance)
+
+
+def run_statistical_gate(
+    backend: str = "auto",
+    protocols: Sequence[str] = ("qlec",),
+    lambdas: Sequence[float] = (16.0,),
+    seeds: Sequence[int] = tuple(range(10)),
+    rounds: int = 6,
+    initial_energy: float = 0.25,
+    metrics: Sequence[str] = GATED_METRICS,
+) -> GateReport:
+    """Gate ``backend`` under the statistical tier against the bitwise
+    numpy reference.
+
+    Runs each (protocol, lambda) cell over the full seed batch twice —
+    reference first, candidate second — and applies the per-metric
+    tolerance test.  Serial and deliberately modest in size: the gate
+    is a CI leg, not a sweep.  Returns a :class:`GateReport`; callers
+    decide what a failure costs (the CI script exits non-zero).
+    """
+    # Deferred: analysis.sweep imports repro.kernels at module load.
+    from ..analysis.sweep import run_cell
+
+    unknown = [m for m in metrics if m not in METRIC_TOLERANCES]
+    if unknown:
+        raise KeyError(f"no declared tolerance for metrics: {unknown}")
+    report = GateReport(backend=backend, n_seeds=len(tuple(seeds)))
+    for protocol in protocols:
+        for lam in lambdas:
+            ref_rows = [
+                run_cell(
+                    protocol, lam, seed,
+                    initial_energy=initial_energy, rounds=rounds,
+                    backend="numpy", equivalence="bitwise",
+                )
+                for seed in seeds
+            ]
+            cand_rows = [
+                run_cell(
+                    protocol, lam, seed,
+                    initial_energy=initial_energy, rounds=rounds,
+                    backend=backend, equivalence="statistical",
+                )
+                for seed in seeds
+            ]
+            verdicts = []
+            for metric in metrics:
+                ref = np.array([r[metric] for r in ref_rows], dtype=np.float64)
+                cand = np.array([r[metric] for r in cand_rows], dtype=np.float64)
+                verdicts.append(_gate_metric(metric, ref, cand).to_dict())
+            report.cells.append(
+                {
+                    "protocol": protocol,
+                    "lambda": lam,
+                    "resolved_backend": cand_rows[0].get("backend", backend),
+                    "metrics": verdicts,
+                }
+            )
+    return report

@@ -28,13 +28,24 @@ policy in :mod:`repro.kernels.base`):
   reproduces bitwise; the distances stay reference-pinned.
 * ``bernoulli`` — a single exact vector compare on uniforms drawn by
   the caller's numpy Generator; nothing to fuse.
+
+Statistical tier
+----------------
+Constructed with ``equivalence="statistical"`` the backend compiles the
+same kernel bodies with ``fastmath=True`` (LLVM may contract FMAs,
+reassociate, and vectorize reductions) and inherits the GEMM-form
+distance block from the statistical numpy reference.  The rounding
+guarantees above no longer hold; the tier is validated by the
+distributional gates in :mod:`repro.kernels.gates` instead of the
+bitwise suites.  Each tier compiles its own kernel table (cached per
+process), so bitwise and statistical instances never share code.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .base import BackendUnavailableError
+from .base import EQUIVALENCE_CHOICES, BackendUnavailableError
 from .numpy_backend import NumpyBackend
 
 __all__ = ["NumbaBackend", "numba_version"]
@@ -53,17 +64,23 @@ def numba_version() -> str | None:
     return getattr(numba, "__version__", "unknown")
 
 
-#: Compiled kernel table, built once per process on first use.
-_COMPILED: dict | None = None
+#: Compiled kernel tables, one per fastmath flag (bitwise compiles
+#: strict-IEEE, statistical compiles ``fastmath=True``), each built
+#: once per process on first use.
+_COMPILED: dict[bool, dict] = {}
 
 
-def _compiled_kernels() -> dict:
-    global _COMPILED
-    if _COMPILED is None:
+def _compiled_kernels(fastmath: bool = False) -> dict:
+    table = _COMPILED.get(fastmath)
+    if table is None:
         import numba
 
-        _COMPILED = _build_kernels(numba.njit)
-    return _COMPILED
+        def jit(fn):
+            return numba.njit(fastmath=fastmath)(fn)
+
+        table = _build_kernels(jit)
+        _COMPILED[fastmath] = table
+    return table
 
 
 def _build_kernels(njit) -> dict:
@@ -205,14 +222,20 @@ class NumbaBackend(NumpyBackend):
 
     name = "numba"
 
-    def __init__(self) -> None:
+    def __init__(self, equivalence: str = "bitwise") -> None:
+        if equivalence not in EQUIVALENCE_CHOICES:
+            raise ValueError(
+                f"equivalence must be one of {EQUIVALENCE_CHOICES}, "
+                f"got {equivalence!r}"
+            )
         if numba_version() is None:
             raise BackendUnavailableError(
                 "kernel backend 'numba' requires the optional numba package "
                 "(pip install 'repro[numba]'); use --backend numpy, or "
                 "--backend auto to fall back automatically"
             )
-        self._k = _compiled_kernels()
+        super().__init__(equivalence)
+        self._k = _compiled_kernels(fastmath=equivalence == "statistical")
 
     def grouped_discharge(self, residual, alive, idx, amounts, death_line):
         return self._k["grouped_discharge"](

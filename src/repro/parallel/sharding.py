@@ -121,6 +121,19 @@ class SweepSpec:
     #: fingerprint and hence the cell ID — fault sweeps shard, resume,
     #: and merge exactly like fault-free ones, and never mix with them.
     faults: str | None = None
+    #: Numeric equivalence tier every cell runs under
+    #: (:data:`repro.kernels.EQUIVALENCE_CHOICES`).  A config field,
+    #: so it flows into the config fingerprint — and it additionally
+    #: hashes into the cell ID explicitly: bitwise and statistical
+    #: artifacts never resume into or merge with each other
+    #: (:func:`merge_artifacts` raises ``EquivalenceError``).
+    equivalence: str = "bitwise"
+    #: Optional distance-block memory budget (MiB) for large-N cells;
+    #: a config field, hence fingerprinted.  Bit-neutral in the bitwise
+    #: tier (the blocked kernel is bit-identical per row) but still run
+    #: identity: it shapes peak memory, which is provenance worth
+    #: pinning for a resumed large-N sweep.
+    max_block_mb: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocols", tuple(self.protocols))
@@ -132,6 +145,15 @@ class SweepSpec:
             raise ValueError("sweep spec needs >= 1 protocol, lambda, and seed")
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError("backend must be a non-empty selector string")
+        from ..config import EQUIVALENCE_CHOICES
+
+        if self.equivalence not in EQUIVALENCE_CHOICES:
+            raise ValueError(
+                f"equivalence must be one of {EQUIVALENCE_CHOICES}, "
+                f"got {self.equivalence!r}"
+            )
+        if self.max_block_mb is not None and self.max_block_mb <= 0.0:
+            raise ValueError("max_block_mb must be positive when given")
 
     # -- serialisation -------------------------------------------------
     def to_payload(self) -> dict:
@@ -166,6 +188,8 @@ class SweepSpec:
                 self.telemetry,
                 self.backend,
                 self.faults,
+                self.equivalence,
+                self.max_block_mb,
             )
             for p in self.protocols
             for lam in self.lambdas
@@ -207,6 +231,8 @@ class SweepSpec:
                             initial_energy=self.initial_energy,
                         ),
                         backend=backend,
+                        equivalence=self.equivalence,
+                        max_block_mb=self.max_block_mb,
                     )
                     if self.faults:
                         # Mirror run_cell exactly: the materialised plan
@@ -219,7 +245,8 @@ class SweepSpec:
                     fp = config_fingerprint(cfg)
                     out.append(
                         SweepCell.build(
-                            p, lam, seed, fp, self.stop_on_death, backend
+                            p, lam, seed, fp, self.stop_on_death, backend,
+                            self.equivalence,
                         )
                     )
         return out
@@ -238,6 +265,7 @@ class SweepCell:
     config_fingerprint: str
     cell_id: str
     backend: str = "numpy"
+    equivalence: str = "bitwise"
 
     @classmethod
     def build(
@@ -248,14 +276,17 @@ class SweepCell:
         config_fingerprint: str,
         stop_on_death: bool = False,
         backend: str = "numpy",
+        equivalence: str = "bitwise",
     ) -> "SweepCell":
         # The ID must cover everything that determines the cell's
         # result: stop_on_death changes run_simulation's outcome but is
         # not a SimulationConfig field, so it hashes in explicitly —
         # otherwise a resume after flipping it would reuse stale rows.
-        # The resolved backend also hashes in explicitly (besides
-        # living in the config fingerprint): provenance must survive
-        # even for callers fingerprinting configs without the field.
+        # The resolved backend and the equivalence tier also hash in
+        # explicitly (besides living in the config fingerprint):
+        # provenance must survive even for callers fingerprinting
+        # configs without those fields, and a statistical row must
+        # never satisfy a bitwise resume.
         cell_id = stable_fingerprint(
             {
                 "protocol": protocol,
@@ -264,11 +295,12 @@ class SweepCell:
                 "config_fingerprint": config_fingerprint,
                 "stop_on_death": bool(stop_on_death),
                 "backend": str(backend),
+                "equivalence": str(equivalence),
             }
         )
         return cls(
             protocol, float(lam), int(seed), config_fingerprint, cell_id,
-            str(backend),
+            str(backend), str(equivalence),
         )
 
 
@@ -326,6 +358,8 @@ def _default_cell_fn(
     telemetry: bool,
     backend: str = "auto",
     faults: str | None = None,
+    equivalence: str = "bitwise",
+    max_block_mb: float | None = None,
 ):
     # Deferred import keeps repro.parallel free of an import cycle with
     # repro.analysis (which imports this package at module scope).
@@ -341,6 +375,8 @@ def _default_cell_fn(
         telemetry=telemetry,
         backend=backend,
         faults=faults,
+        equivalence=equivalence,
+        max_block_mb=max_block_mb,
     )
 
 
@@ -452,6 +488,7 @@ def _cell_record(cell: SweepCell, summary: dict, attempts: int) -> dict:
         "seed": cell.seed,
         "config_fingerprint": cell.config_fingerprint,
         "backend": cell.backend,
+        "equivalence": cell.equivalence,
         "attempts": attempts,
         "summary": _jsonable(summary),
     }
@@ -469,6 +506,7 @@ def _error_record(cell: SweepCell, error: dict, attempts: int) -> dict:
         "seed": cell.seed,
         "config_fingerprint": cell.config_fingerprint,
         "backend": cell.backend,
+        "equivalence": cell.equivalence,
         "attempts": attempts,
         "error": dict(error),
     }
@@ -588,6 +626,9 @@ def run_shard(
                 # cell ID pinned at enumeration time.
                 c.backend,
                 spec.faults,
+                # Likewise the cell's pinned tier and block budget.
+                c.equivalence,
+                spec.max_block_mb,
             ),
             retries,
         )
@@ -751,8 +792,22 @@ def merge_artifacts(
     if not loaded:
         raise ValueError("no artifacts to merge")
     spec = loaded[0].spec
+    first_tier = loaded[0].manifest.get("spec", {}).get("equivalence", "bitwise")
     for art in loaded[1:]:
         if art.manifest["spec_fingerprint"] != loaded[0].manifest["spec_fingerprint"]:
+            tier = art.manifest.get("spec", {}).get("equivalence", "bitwise")
+            if tier != first_tier:
+                # Name the actual crime when the specs differ by tier:
+                # a generic fingerprint mismatch would hide that the
+                # caller is mixing numeric regimes.
+                from ..kernels.base import EquivalenceError
+
+                raise EquivalenceError(
+                    f"{art.path or '<memory>'}: cannot merge a {tier!r}-tier "
+                    f"artifact into a {first_tier!r}-tier sweep — the tiers "
+                    "follow different numeric contracts and their rows are "
+                    "not comparable; re-run the sweep under one tier"
+                )
             raise ValueError(
                 f"{art.path or '<memory>'}: spec fingerprint "
                 f"{art.manifest['spec_fingerprint']} does not match "

@@ -56,7 +56,7 @@ from ..config import SimulationConfig
 if TYPE_CHECKING:  # avoid a runtime cycle with baselines.base
     from ..baselines.base import ClusteringProtocol
 from ..faults import NULL_INJECTOR, PlanInjector
-from ..kernels import KernelBackend, resolve_backend
+from ..kernels import EquivalenceError, KernelBackend, resolve_backend
 from ..network.node import BaseStation, NodeArray
 from ..network.packet import PacketArena, PacketStats, PacketStatus
 from ..network.queueing import QueueBank, SourceBuffers
@@ -136,8 +136,16 @@ class SimulationEngine:
         self.config = config
         self.protocol = protocol
         self.telemetry = telemetry if telemetry is not None else NULL
+        if config.equivalence != "bitwise" and trace is not None:
+            raise EquivalenceError(
+                "golden traces require bitwise equivalence; a "
+                f"{config.equivalence!r}-tier run is not bit-reproducible "
+                "and must not record or verify traces (drop --equivalence "
+                "statistical, or run without tracing)"
+            )
         self.kernels = resolve_backend(
-            backend if backend is not None else config.backend
+            backend if backend is not None else config.backend,
+            equivalence=config.equivalence,
         )
         self.state = NetworkState(
             config,

@@ -175,9 +175,14 @@ class NetworkState:
             out[:, is_bs] = self.topology.d_to_bs[nodes][:, None]
         real = ~is_bs
         if real.any():
-            out[:, real] = self.kernels.distance_block(
+            # Streamed over sender-row chunks when the config bounds the
+            # block footprint (large-N runs); bit-identical to the
+            # one-shot call for every chunk size, so the bitwise tier is
+            # unaffected (see KernelBackend.distance_block_blocked).
+            out[:, real] = self.kernels.distance_block_blocked(
                 self.nodes.positions[nodes],
                 self.nodes.positions[targets[real]],
+                self.config.max_block_mb,
             )
         return out
 
@@ -192,6 +197,50 @@ class NetworkState:
         e_init_total = self.ledger.total_initial
         r, big_r = self.round_index, self.total_rounds
         return (e_init_total / self.n) * (1.0 - r / big_r)
+
+    def memory_report(self) -> dict:
+        """Dtype/footprint audit of the persistent per-node state.
+
+        Large-N runs live or die by what scales with N (and what scales
+        with N^2 — nothing here may, with the shared rank-1 link
+        estimator).  Returns ``{"arrays": {name: {"dtype", "shape",
+        "mbytes"}}, "resident_mb", "transient_block_mb"}`` where
+        ``transient_block_mb`` is the peak distance-block temporary a
+        slot can allocate under the config's ``max_block_mb`` budget
+        (unbounded one-shot estimate when the budget is None).  The
+        scale benchmark asserts against these numbers.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "positions": self.nodes.positions,
+            "initial_energy": self.nodes.initial_energy,
+            "residual": self.ledger.residual,
+            "alive": self.ledger.alive,
+            "d_to_bs": self.topology.d_to_bs,
+            "link_estimates": self.link_estimator._est,
+            "last_ch_round": self.last_ch_round,
+        }
+        if self.link_estimator.shared:
+            arrays["link_shared_row"] = self.link_estimator._shared_row
+        report = {
+            name: {
+                "dtype": str(a.dtype),
+                "shape": tuple(a.shape),
+                "mbytes": a.nbytes / 2**20,
+            }
+            for name, a in arrays.items()
+        }
+        budget = self.config.max_block_mb
+        if budget is None:
+            # Worst case: every node sends to every head at once.
+            k = self.config.n_clusters or max(1, int(round(np.sqrt(self.n))))
+            transient = 8 * self.n * k * 4 / 2**20
+        else:
+            transient = float(budget)
+        return {
+            "arrays": report,
+            "resident_mb": sum(r["mbytes"] for r in report.values()),
+            "transient_block_mb": transient,
+        }
 
     def update_positions(self, positions: np.ndarray) -> None:
         """Replace node coordinates (mobility step) and rebuild the

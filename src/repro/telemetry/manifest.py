@@ -96,6 +96,7 @@ def run_manifest(
             if backend is not None
             else resolve_backend_name(config.backend)
         ),
+        "equivalence": config.equivalence,
         "backend_versions": backend_versions(),
     }
     if extra:

@@ -28,7 +28,8 @@ def _force_numba(monkeypatch, registry, version):
     """Pretend numba_version() returns ``version`` everywhere."""
     monkeypatch.setattr(numba_backend_mod, "numba_version", lambda: version)
     monkeypatch.setattr(registry_mod, "numba_version", lambda: version)
-    registry._INSTANCES.pop("numba", None)
+    for tier in ("bitwise", "statistical"):
+        registry._INSTANCES.pop(("numba", tier), None)
 
 
 @pytest.fixture
@@ -62,6 +63,16 @@ class TestNumbaAbsent:
         with warnings.catch_warnings():
             warnings.simplefilter("error")  # a second warning would raise
             assert resolve_backend("auto").name == "numpy"
+
+    def test_reset_hook_rearms_the_warning(self, no_numba):
+        """``_reset_for_tests`` is the supported way to re-arm the
+        once-per-process latch — suites must not poke the module
+        global directly."""
+        with pytest.warns(RuntimeWarning):
+            resolve_backend("auto")
+        registry_mod._reset_for_tests()
+        with pytest.warns(RuntimeWarning, match="numpy reference"):
+            resolve_backend("auto")
 
     def test_availability_reporting(self, no_numba):
         assert not backend_available("numba")

@@ -1,0 +1,97 @@
+"""The statistical tier's distributional gate and its tolerance schema."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    GATED_METRICS,
+    METRIC_TOLERANCES,
+    GateMetric,
+    run_statistical_gate,
+)
+from repro.kernels.gates import _gate_metric
+
+
+class TestToleranceSchema:
+    def test_every_gated_metric_declares_abs_and_rel(self):
+        assert GATED_METRICS == tuple(METRIC_TOLERANCES)
+        for metric, tol in METRIC_TOLERANCES.items():
+            assert set(tol) == {"abs", "rel"}, metric
+            assert tol["abs"] >= 0.0 and tol["rel"] >= 0.0, metric
+            assert tol["abs"] > 0.0 or tol["rel"] > 0.0, (
+                f"{metric}: a zero-allowance gate is a bitwise test in disguise"
+            )
+
+    def test_headline_metrics_are_gated(self):
+        assert "pdr" in METRIC_TOLERANCES
+        assert "energy_J" in METRIC_TOLERANCES
+        assert "latency_slots" in METRIC_TOLERANCES
+
+
+class TestGateMetric:
+    def test_within_allowance_passes(self):
+        v = _gate_metric("pdr", np.array([0.90, 0.92]), np.array([0.91, 0.92]))
+        assert isinstance(v, GateMetric)
+        assert v.passed and v.delta <= v.tolerance
+
+    def test_outside_allowance_fails(self):
+        v = _gate_metric("pdr", np.array([0.90, 0.92]), np.array([0.70, 0.72]))
+        assert not v.passed
+        assert v.delta == pytest.approx(0.20)
+
+    def test_relative_allowance_scales_with_reference(self):
+        ref = np.array([100.0, 102.0])
+        v = _gate_metric("energy_J", ref, ref * 1.01)  # within 2 % rel
+        assert v.passed
+        v = _gate_metric("energy_J", ref, ref * 1.05)  # outside
+        assert not v.passed
+
+    def test_both_nan_means_agree_in_kind(self):
+        nan2 = np.array([float("nan"), float("nan")])
+        v = _gate_metric("latency_slots", nan2, nan2)
+        assert v.passed and math.isnan(v.ref_mean)
+
+    def test_one_sided_nan_fails(self):
+        nan2 = np.array([float("nan"), float("nan")])
+        v = _gate_metric("latency_slots", np.array([2.0, 2.0]), nan2)
+        assert not v.passed
+
+    def test_partial_nan_compares_defined_entries(self):
+        ref = np.array([2.0, float("nan")])
+        cand = np.array([2.0, float("nan")])
+        v = _gate_metric("latency_slots", ref, cand)
+        assert v.passed and v.ref_mean == 2.0
+
+    def test_unknown_metric_has_no_tolerance(self):
+        with pytest.raises(KeyError):
+            _gate_metric("nonsense", np.array([1.0]), np.array([1.0]))
+
+
+class TestRunStatisticalGate:
+    def test_numpy_statistical_passes_small_batch(self):
+        """The GEMM distance path must sit inside every declared
+        allowance on a small but real seed batch."""
+        report = run_statistical_gate(
+            backend="numpy", seeds=(0, 1), rounds=2,
+        )
+        assert report.passed, report.failures
+        assert report.n_seeds == 2
+        (cell,) = report.cells
+        assert cell["protocol"] == "qlec"
+        assert cell["resolved_backend"] == "numpy"
+        assert [m["metric"] for m in cell["metrics"]] == list(GATED_METRICS)
+
+    def test_report_round_trips_to_dict(self):
+        report = run_statistical_gate(
+            backend="numpy", seeds=(0,), rounds=1, metrics=("pdr",),
+        )
+        payload = report.to_dict()
+        assert payload["kind"] == "statistical-gate"
+        assert payload["passed"] == report.passed
+        assert payload["n_seeds"] == 1
+
+    def test_ungated_metric_rejected_up_front(self):
+        with pytest.raises(KeyError, match="no declared tolerance"):
+            run_statistical_gate(metrics=("pdr", "nonsense"))

@@ -222,7 +222,7 @@ def _reset_fault():
 
 def faulty_cell(
     protocol, lam, seed, initial_energy, rounds, stop, telemetry,
-    backend="auto", faults=None,
+    backend="auto", faults=None, equivalence="bitwise", max_block_mb=None,
 ):
     key = (protocol, lam, seed)
     _FAULT["calls"][key] = _FAULT["calls"].get(key, 0) + 1
@@ -234,7 +234,7 @@ def faulty_cell(
         protocol, lam, seed,
         initial_energy=initial_energy, rounds=rounds,
         stop_on_death=stop, telemetry=telemetry, backend=backend,
-        faults=faults,
+        faults=faults, equivalence=equivalence, max_block_mb=max_block_mb,
     )
 
 
@@ -326,7 +326,7 @@ class TestFailurePaths:
 
 def _deterministic_faulty_cell(
     protocol, lam, seed, initial_energy, rounds, stop, telemetry,
-    backend="auto", faults=None,
+    backend="auto", faults=None, equivalence="bitwise", max_block_mb=None,
 ):
     """Fails like a code bug, not like a flaky environment."""
     key = (protocol, lam, seed)
@@ -337,7 +337,7 @@ def _deterministic_faulty_cell(
         protocol, lam, seed,
         initial_energy=initial_energy, rounds=rounds,
         stop_on_death=stop, telemetry=telemetry, backend=backend,
-        faults=faults,
+        faults=faults, equivalence=equivalence, max_block_mb=max_block_mb,
     )
 
 

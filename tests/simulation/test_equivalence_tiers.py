@@ -1,0 +1,151 @@
+"""The equivalence tier as run identity: engine, fingerprints, sharding.
+
+The ``bitwise``/``statistical`` split is only safe if the tier is
+impossible to lose track of: it must flow into config fingerprints,
+run manifests, and sweep cell IDs, and every flow that assumes bitwise
+reproducibility (golden traces, artifact merges) must reject the
+statistical tier loudly rather than silently mixing numeric regimes.
+"""
+
+import pytest
+
+from repro.core import QLECProtocol
+from repro.kernels import EquivalenceError
+from repro.parallel import SweepSpec, merge_artifacts, run_shard
+from repro.simulation import run_simulation
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.trace import TraceRecorder
+from repro.telemetry import config_fingerprint
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def tiny_spec():
+    def build(equivalence):
+        return SweepSpec(
+            protocols=("direct",), lambdas=(8.0,), seeds=(0,),
+            rounds=2, backend="numpy", equivalence=equivalence,
+        )
+
+    return build
+
+
+class TestEngine:
+    def test_statistical_run_completes_and_validates(self):
+        cfg = make_config(equivalence="statistical", backend="numpy")
+        result = run_simulation(cfg, QLECProtocol())
+        result.validate()
+        assert 0.0 <= result.delivery_rate <= 1.0
+
+    def test_engine_binds_a_statistical_instance(self):
+        cfg = make_config(equivalence="statistical", backend="numpy")
+        engine = SimulationEngine(cfg, QLECProtocol())
+        assert engine.kernels.equivalence == "statistical"
+
+    def test_statistical_metrics_close_to_bitwise(self):
+        """The GEMM distances reassociate, but on a small scenario the
+        headline metrics must stay scientifically indistinguishable."""
+        ref = run_simulation(make_config(backend="numpy"), QLECProtocol())
+        cand = run_simulation(
+            make_config(backend="numpy", equivalence="statistical"),
+            QLECProtocol(),
+        )
+        assert cand.delivery_rate == pytest.approx(ref.delivery_rate, abs=0.05)
+        assert cand.total_energy == pytest.approx(ref.total_energy, rel=0.05)
+
+    def test_statistical_tier_refuses_traces(self):
+        cfg = make_config(equivalence="statistical", backend="numpy")
+        with pytest.raises(EquivalenceError, match="golden traces"):
+            SimulationEngine(cfg, QLECProtocol(), trace=TraceRecorder())
+
+    def test_manifest_records_the_tier(self):
+        from repro.telemetry.manifest import run_manifest
+
+        cfg = make_config(equivalence="statistical", backend="numpy")
+        assert run_manifest(cfg, "qlec")["equivalence"] == "statistical"
+        assert run_manifest(make_config(), "qlec")["equivalence"] == "bitwise"
+
+
+class TestIdentity:
+    def test_config_fingerprint_differs_by_tier(self):
+        bit = make_config(backend="numpy")
+        stat = make_config(backend="numpy", equivalence="statistical")
+        assert config_fingerprint(bit) != config_fingerprint(stat)
+
+    def test_block_budget_is_fingerprinted(self):
+        assert config_fingerprint(make_config()) != config_fingerprint(
+            make_config(max_block_mb=64.0)
+        )
+
+    def test_cell_ids_differ_by_tier(self, tiny_spec):
+        bit_cells = tiny_spec("bitwise").cells()
+        stat_cells = tiny_spec("statistical").cells()
+        assert {c.cell_id for c in bit_cells}.isdisjoint(
+            c.cell_id for c in stat_cells
+        )
+        assert all(c.equivalence == "statistical" for c in stat_cells)
+
+    def test_spec_payload_round_trips_the_tier(self, tiny_spec):
+        spec = tiny_spec("statistical")
+        assert SweepSpec.from_payload(spec.to_payload()) == spec
+
+    def test_spec_rejects_unknown_tier(self):
+        with pytest.raises(ValueError, match="equivalence"):
+            SweepSpec(
+                protocols=("direct",), lambdas=(8.0,), seeds=(0,),
+                equivalence="sloppy",
+            )
+
+
+class TestCrossTierMerge:
+    def _artifact(self, tmp_path, spec, name):
+        path = tmp_path / name
+        run_shard(spec, 1, 1, path, serial=True)
+        return path
+
+    def test_merge_across_tiers_fails_loudly(self, tmp_path, tiny_spec):
+        bit = self._artifact(tmp_path, tiny_spec("bitwise"), "bit.jsonl")
+        stat = self._artifact(tmp_path, tiny_spec("statistical"), "stat.jsonl")
+        with pytest.raises(EquivalenceError, match="statistical.*-tier"):
+            merge_artifacts([bit, stat])
+
+    def test_same_tier_merge_still_works(self, tmp_path, tiny_spec):
+        spec = tiny_spec("statistical")
+        art = self._artifact(tmp_path, spec, "stat.jsonl")
+        merged = merge_artifacts([art]).require_complete()
+        assert merged.spec.equivalence == "statistical"
+        assert len(merged.sweep.rows) == len(spec)
+
+    def test_cli_merge_across_tiers_exits_2(self, tmp_path, tiny_spec, capsys):
+        from repro.cli import main
+
+        bit = self._artifact(tmp_path, tiny_spec("bitwise"), "bit.jsonl")
+        stat = self._artifact(tmp_path, tiny_spec("statistical"), "stat.jsonl")
+        rc = main(["merge", str(bit), str(stat)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "tier" in err
+
+
+class TestMemoryReport:
+    def test_report_shape_and_budget(self):
+        from repro.simulation.state import NetworkState
+
+        state = NetworkState(make_config(n_nodes=50, max_block_mb=2.0))
+        report = state.memory_report()
+        assert set(report) == {"arrays", "resident_mb", "transient_block_mb"}
+        assert report["transient_block_mb"] == 2.0
+        assert report["resident_mb"] == pytest.approx(
+            sum(a["mbytes"] for a in report["arrays"].values())
+        )
+        positions = report["arrays"]["positions"]
+        assert positions["dtype"] == "float64"
+        assert positions["shape"] == (50, 3)
+
+    def test_unbudgeted_transient_is_the_full_block(self):
+        from repro.simulation.state import NetworkState
+
+        state = NetworkState(make_config(n_nodes=50, n_clusters=4))
+        report = state.memory_report()
+        expected = 8 * 50 * 4 * 4 / 2**20  # n x k float64 diff + out
+        assert report["transient_block_mb"] == pytest.approx(expected)
