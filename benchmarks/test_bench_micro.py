@@ -113,20 +113,23 @@ def test_slot_kernel_round_n2896(benchmark):
 
 
 def test_telemetry_disabled_overhead_under_2pct():
-    """Disabled telemetry must cost < 2 % of the N=2896 slot-kernel
-    round.
+    """Disabled telemetry *and* tracing must cost < 2 % of the N=2896
+    slot-kernel round.
 
     When no :class:`Telemetry` is attached the engine holds the NULL
-    singleton, so the whole disabled cost is its no-op hook calls.  We
-    measure the per-call cost of the hooks directly, multiply by the
-    number of markers one round issues, and compare against the
-    measured round time — a deterministic bound that doesn't depend on
-    run-to-run jitter between two full-round timings.
+    singleton, and when no tracer is attached it holds NULL_TRACER —
+    every instrumented site issues one no-op call on each, so the whole
+    disabled cost is their summed per-call cost.  We measure that
+    directly, multiply by the number of markers one round issues, and
+    compare against the measured round time — a deterministic bound
+    that doesn't depend on run-to-run jitter between two full-round
+    timings.
     """
     import time
 
     from repro.simulation.engine import SimulationEngine
     from repro.telemetry import NULL
+    from repro.telemetry.trace import NULL_TRACER
 
     cfg = _slot_kernel_config()
     best = float("inf")
@@ -141,14 +144,20 @@ def test_telemetry_disabled_overhead_under_2pct():
     for _ in range(calls):
         NULL.lap("phase")
     per_call = (time.perf_counter() - t0) / calls
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        NULL_TRACER.lap("phase")
+    per_call += (time.perf_counter() - t0) / calls
 
     # Markers per round: ~8 lap sites per slot x slots_per_round, plus
-    # a handful of per-round hooks; 100x headroom on the count.
+    # a handful of per-round hooks; 100x headroom on the count.  Each
+    # site fires one telemetry hook and one tracer hook (per_call sums
+    # both).
     slots = cfg.traffic.slots_per_round
     markers = (8 * slots + 20) * 100
     overhead = per_call * markers
     assert overhead < 0.02 * best, (
-        f"disabled telemetry overhead {overhead * 1e6:.1f}us "
+        f"disabled telemetry+tracer overhead {overhead * 1e6:.1f}us "
         f"vs round {best * 1e3:.1f}ms"
     )
 

@@ -20,11 +20,18 @@ import sys
 from dataclasses import fields
 from pathlib import Path
 
+from repro.parallel.status import STATUS_KIND, STATUS_SCHEMA
 from repro.simulation.trace import RoundTrace
 from repro.telemetry.manifest import (
     MANIFEST_KIND,
     MANIFEST_SCHEMA,
     SHARD_MANIFEST_KIND,
+)
+from repro.telemetry.trace import (
+    INSTANT_KIND,
+    SPAN_KIND,
+    TRACE_SCHEMA,
+    TRACE_SUMMARY_KIND,
 )
 
 #: Key -> required type(s) of every field run_manifest() always emits.
@@ -67,6 +74,56 @@ CELL_KEYS = {
     "backend": str,
     "equivalence": str,
     "attempts": int,
+}
+
+#: Required keys of a span event in a trace JSONL file.
+SPAN_KEYS = {
+    "kind": str,
+    "id": int,
+    "parent": (int, type(None)),
+    "name": str,
+    "cat": str,
+    "ts": (int, float),
+    "dur": (int, float),
+}
+
+#: Required keys of an instant event (a span without extent).
+INSTANT_KEYS = {
+    "kind": str,
+    "id": int,
+    "parent": (int, type(None)),
+    "name": str,
+    "cat": str,
+    "ts": (int, float),
+}
+
+#: Required keys of the trailing trace summary.
+TRACE_SUMMARY_KEYS = {
+    "kind": str,
+    "schema": int,
+    "events": int,
+    "dropped": int,
+    "spans_by_name": dict,
+    "instants_by_name": dict,
+}
+
+#: Required keys of a shard-status heartbeat row.
+STATUS_KEYS = {
+    "kind": str,
+    "schema": int,
+    "spec_fingerprint": str,
+    "shard": int,
+    "num_shards": int,
+    "cells_total": int,
+    "done": int,
+    "failed": int,
+    "retried": int,
+    "resumed": int,
+    "ewma_cell_seconds": (int, float, type(None)),
+    "eta_seconds": (int, float, type(None)),
+    "elapsed_seconds": (int, float),
+    "updated_unix": (int, float),
+    "state": str,
 }
 
 FENCE = re.compile(r"^```jsonl\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
@@ -158,6 +215,34 @@ def check_tolerance_record(obj: dict, where: str) -> list[str]:
     return errors
 
 
+def check_trace_summary(obj: dict, where: str) -> list[str]:
+    errors = _check_keys(obj, TRACE_SUMMARY_KEYS, "trace summary", where)
+    if obj.get("schema") != TRACE_SCHEMA:
+        errors.append(
+            f"{where}: trace-summary schema {obj.get('schema')} != "
+            f"{TRACE_SCHEMA}"
+        )
+    return errors
+
+
+def check_status_record(obj: dict, where: str) -> list[str]:
+    errors = _check_keys(obj, STATUS_KEYS, "shard-status row", where)
+    if obj.get("schema") != STATUS_SCHEMA:
+        errors.append(
+            f"{where}: shard-status schema {obj.get('schema')} != "
+            f"{STATUS_SCHEMA}"
+        )
+    if obj.get("state") not in ("running", "complete"):
+        errors.append(
+            f"{where}: shard-status state {obj.get('state')!r} must be "
+            "'running' or 'complete'"
+        )
+    fp = obj.get("spec_fingerprint", "")
+    if not re.fullmatch(r"[0-9a-f]{16}", fp):
+        errors.append(f"{where}: spec_fingerprint {fp!r} is not 16 hex digits")
+    return errors
+
+
 def check_round_record(obj: dict, where: str) -> list[str]:
     known = {f.name for f in fields(RoundTrace)}
     unknown = set(obj) - known
@@ -201,6 +286,14 @@ def check_file(path: Path) -> list[str]:
                     )
             elif kind == "tolerance":
                 errors.extend(check_tolerance_record(obj, where))
+            elif kind == SPAN_KIND:
+                errors.extend(_check_keys(obj, SPAN_KEYS, "span", where))
+            elif kind == INSTANT_KIND:
+                errors.extend(_check_keys(obj, INSTANT_KEYS, "instant", where))
+            elif kind == TRACE_SUMMARY_KIND:
+                errors.extend(check_trace_summary(obj, where))
+            elif kind == STATUS_KIND:
+                errors.extend(check_status_record(obj, where))
             else:
                 errors.extend(check_round_record(obj, where))
     return errors

@@ -98,6 +98,22 @@ PHASE_ORDER = (
 )
 
 
+def _metric_value(m: Mapping[str, Any]) -> Any:
+    """The scalar a metric mapping renders as.
+
+    Counters carry ``value``; gauges carry ``total`` (among others).
+    Metric names are an open taxonomy — new producers add names under
+    existing prefixes — so the renderer must not assume any particular
+    kind behind a prefix: an unrecognized shape renders as 0 instead of
+    raising.
+    """
+    if "value" in m:
+        return m["value"]
+    if "total" in m:
+        return m["total"]
+    return 0
+
+
 def render_telemetry(
     snapshot: Mapping[str, Mapping[str, Any]],
     title: str | None = "Telemetry breakdown",
@@ -109,13 +125,16 @@ def render_telemetry(
     radio category, and packets by terminal outcome — the where-does-
     time/energy/loss-go view the sharding and compiled-backend roadmap
     items need.
+
+    Tolerant of unknown metric names and shapes by design: snapshots
+    merged from newer producers must still render (never ``KeyError``).
     """
     if not snapshot:
         return (title + "\n" if title else "") + "(no telemetry)"
     blocks: list[str] = []
 
     phases = {
-        name.removeprefix("time/phase/"): m["value"]
+        name.removeprefix("time/phase/"): _metric_value(m)
         for name, m in snapshot.items()
         if name.startswith("time/phase/")
     }
@@ -145,7 +164,7 @@ def render_telemetry(
         blocks.append(title)
 
     energy = {
-        name.removeprefix("energy/").removesuffix("_j"): m["value"]
+        name.removeprefix("energy/").removesuffix("_j"): _metric_value(m)
         for name, m in snapshot.items()
         if name.startswith("energy/")
     }
@@ -155,7 +174,7 @@ def render_telemetry(
         )
 
     packets = {
-        name.removeprefix("packets/"): m["value"]
+        name.removeprefix("packets/"): _metric_value(m)
         for name, m in snapshot.items()
         if name.startswith("packets/")
     }
@@ -163,10 +182,12 @@ def render_telemetry(
         blocks.append(render_kv(packets, title="packets by outcome"))
 
     attempts = snapshot.get("channel/attempts")
-    acks = snapshot.get("channel/acks")
-    if attempts and attempts["value"]:
+    n_attempts = _metric_value(attempts) if attempts else 0
+    if n_attempts:
+        acks = snapshot.get("channel/acks")
+        n_acks = _metric_value(acks) if acks else 0
         blocks.append(
-            f"channel: {acks['value']}/{attempts['value']} attempts ACKed "
-            f"({acks['value'] / attempts['value']:.1%})"
+            f"channel: {n_acks}/{n_attempts} attempts ACKed "
+            f"({n_acks / n_attempts:.1%})"
         )
     return "\n\n".join(blocks)

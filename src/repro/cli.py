@@ -13,8 +13,10 @@ Commands
 ``sensitivity``  QLEC hyperparameter robustness sweep
 ``scenario``     run one protocol on a named scenario from the catalog
 ``sweep``        run one shard of a sweep grid into a JSONL artifact
+``status``       render the live progress of sharded sweep invocations
 ``merge``        fold shard artifacts back into one sweep
 ``report``       run everything and write REPORT.md
+``version``      package version plus kernel-dependency provenance
 """
 
 from __future__ import annotations
@@ -23,6 +25,30 @@ import argparse
 import sys
 
 __all__ = ["main", "build_parser"]
+
+
+def _version_text() -> str:
+    from . import __version__
+    from .kernels import backend_versions
+
+    deps = ", ".join(
+        f"{name} {ver if ver is not None else 'absent'}"
+        for name, ver in sorted(backend_versions().items())
+    )
+    return f"repro {__version__} ({deps})"
+
+
+class _VersionAction(argparse.Action):
+    """``--version`` ahead of subcommand dispatch (argparse's built-in
+    'version' action would need the string eagerly; the kernel-registry
+    import stays deferred this way)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(_version_text())
+        parser.exit(0)
 
 
 def _add_backend_arg(cmd: argparse.ArgumentParser) -> None:
@@ -67,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="QLEC (ICPP 2019) reproduction — experiment drivers",
+    )
+    parser.add_argument(
+        "--version", action=_VersionAction,
+        help="print package version and kernel-dependency versions",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -173,8 +203,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the ASCII network layout")
     scen.add_argument("--telemetry", action="store_true",
                       help="print the per-phase time/energy/drop breakdown")
+    scen.add_argument("--trace", type=str, default=None, metavar="PATH",
+                      help="write a hierarchical span trace of the run: "
+                           "schema-linted JSONL at PATH plus a Chrome "
+                           "trace-event twin (<stem>.chrome.json) "
+                           "loadable in Perfetto/chrome://tracing")
     _add_backend_arg(scen)
     _add_faults_arg(scen)
+
+    stat = sub.add_parser(
+        "status", help="render live progress of sharded sweep invocations"
+    )
+    stat.add_argument("paths", type=str, nargs="+",
+                      help="artifact paths, status sidecars, or directories "
+                           "to scan for *.status.jsonl")
+
+    sub.add_parser("version", help="package and kernel-dependency versions")
 
     rep = sub.add_parser("report", help="run everything, write REPORT.md")
     rep.add_argument("--out", type=str, default="REPORT.md")
@@ -329,10 +373,12 @@ def _cmd_sensitivity(args) -> int:
 
 
 def _cmd_scenario(args) -> int:
+    from pathlib import Path
+
     from .analysis import network_ascii, render_table, render_telemetry
     from .analysis.sweep import PROTOCOLS
     from .simulation import SimulationEngine, build_scenario, scenario_names
-    from .telemetry import Telemetry
+    from .telemetry import SpanTracer, Telemetry
 
     if args.name in ("--list", "list"):
         print("\n".join(scenario_names()))
@@ -347,11 +393,22 @@ def _cmd_scenario(args) -> int:
 
         config = config.replace(faults=build_fault_plan(args.faults, config))
     tel = Telemetry() if args.telemetry else None
+    tracer = SpanTracer() if args.trace else None
     engine = SimulationEngine(
         config, PROTOCOLS[args.protocol](), nodes=nodes, bs=bs,
-        telemetry=tel, backend=args.backend,
+        telemetry=tel, backend=args.backend, tracer=tracer,
     )
     result = engine.run()
+    if tracer is not None:
+        trace_path = Path(args.trace)
+        tracer.write_jsonl(trace_path)
+        chrome_path = trace_path.with_name(trace_path.stem + ".chrome.json")
+        tracer.write_chrome(chrome_path)
+        s = tracer.summary()
+        print(
+            f"trace: {s['events']} events ({s['dropped']} dropped) -> "
+            f"{trace_path} + {chrome_path}"
+        )
     if args.layout:
         print(
             network_ascii(
@@ -422,6 +479,53 @@ def _cmd_sweep(args) -> int:
     return 1 if result.errors else 0
 
 
+def _cmd_status(args) -> int:
+    import time
+
+    from .analysis import render_table
+    from .parallel import find_status_files, load_status
+
+    files = find_status_files(args.paths)
+    if not files:
+        print("error: no status sidecars found", file=sys.stderr)
+        return 2
+    rows = []
+    statuses = []
+    now = time.time()
+    for path in files:
+        st = load_status(path)
+        statuses.append(st)
+        ewma = st["ewma_cell_seconds"]
+        eta = st["eta_seconds"]
+        rows.append({
+            "shard": f"{st['shard']}/{st['num_shards']}",
+            "state": st["state"],
+            "done": st["done"],
+            "failed": st["failed"],
+            "retried": st["retried"],
+            "total": st["cells_total"],
+            "cell_s": "-" if ewma is None else f"{ewma:.2f}",
+            "eta_s": "-" if eta is None else f"{eta:.1f}",
+            "age_s": f"{max(0.0, now - st['updated_unix']):.0f}",
+        })
+    print(render_table(rows, title="Shard status"))
+    done = sum(s["done"] for s in statuses)
+    failed = sum(s["failed"] for s in statuses)
+    total = sum(s["cells_total"] for s in statuses)
+    fleet_state = (
+        "complete"
+        if all(s["state"] == "complete" for s in statuses)
+        else "running"
+    )
+    print(f"fleet: {done}/{total} cells done, {failed} failed ({fleet_state})")
+    return 0
+
+
+def _cmd_version(_args) -> int:
+    print(_version_text())
+    return 0
+
+
 def _cmd_merge(args) -> int:
     from .analysis import render_table, render_telemetry, save_sweep
     from .parallel import merge_artifacts, write_merged_artifact
@@ -465,9 +569,11 @@ _COMMANDS = {
     "convergence": _cmd_convergence,
     "sensitivity": _cmd_sensitivity,
     "scenario": _cmd_scenario,
+    "status": _cmd_status,
     "sweep": _cmd_sweep,
     "merge": _cmd_merge,
     "report": _cmd_report,
+    "version": _cmd_version,
 }
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry.trace import NULL_TRACER
 from .plan import FaultEvent, FaultPlan
 
 __all__ = ["NULL_INJECTOR", "NullInjector", "PlanInjector"]
@@ -63,11 +64,13 @@ class PlanInjector:
         rng: np.random.Generator,
         n: int,
         bs_index: int,
+        tracer=None,
     ) -> None:
         self.plan = plan
         self.rng = rng
         self.n = n
         self.bs_index = bs_index
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.recovering = plan.recovery
         self.retry_budget = plan.retry_budget
         self.backoff_base = plan.backoff_base
@@ -130,6 +133,13 @@ class PlanInjector:
             self.absorbed += 1
         self.events_by_kind[ev.kind] = self.events_by_kind.get(ev.kind, 0) + 1
         self.fault_rounds.add(rnd)
+        trc = self.tracer
+        if trc.enabled:
+            trc.instant(
+                f"fault/{ev.kind}",
+                cat="fault",
+                args={"round": int(rnd), "killed": int(killed)},
+            )
 
     # ------------------------------------------------------------------
     # engine hooks

@@ -31,6 +31,7 @@ from .gates import (
 )
 from .numba_backend import NumbaBackend, numba_version
 from .numpy_backend import NumpyBackend
+from .profiling import ProfiledBackend
 from .registry import (
     BACKEND_CHOICES,
     EQUIVALENCE_CHOICES,
@@ -57,6 +58,7 @@ __all__ = [
     "KernelBackend",
     "NumbaBackend",
     "NumpyBackend",
+    "ProfiledBackend",
     "available_backends",
     "backend_available",
     "backend_names",

@@ -16,24 +16,38 @@ from .sharding import (
     run_shard,
     write_merged_artifact,
 )
+from .status import (
+    STATUS_KIND,
+    STATUS_SCHEMA,
+    ShardStatusWriter,
+    find_status_files,
+    load_status,
+    shard_status_path,
+)
 
 __all__ = [
     "MergedSweep",
+    "STATUS_KIND",
+    "STATUS_SCHEMA",
     "SeedFactory",
     "ShardArtifact",
     "ShardRunResult",
+    "ShardStatusWriter",
     "SweepCell",
     "SweepSpec",
     "classify_error",
     "default_workers",
+    "find_status_files",
     "fold_results",
     "iter_tasks",
     "load_artifact",
+    "load_status",
     "merge_artifacts",
     "parse_shard_arg",
     "partition_cells",
     "run_shard",
     "run_tasks",
+    "shard_status_path",
     "spawn_generators",
     "write_merged_artifact",
 ]

@@ -61,6 +61,7 @@ from ..telemetry.manifest import (
 )
 from ..telemetry.registry import deterministic_view, merge_snapshots
 from .pool import fold_results, iter_tasks
+from .status import ShardStatusWriter
 
 __all__ = [
     "CELL_KIND",
@@ -605,9 +606,24 @@ def run_shard(
         cells=cells,
         skipped=sorted(retained),
     )
+    # Live progress goes to a *sidecar* (never the artifact itself —
+    # see repro.parallel.status); named `progress` because the cell
+    # result loop below binds `status`.
+    progress = ShardStatusWriter(
+        out_path,
+        spec_fingerprint=spec.fingerprint,
+        shard=shard,
+        num_shards=num_shards,
+        cells_total=len(cells),
+    )
 
     if not pending and not stale:
-        return result  # complete artifact: recompute nothing, touch nothing
+        # Complete artifact: recompute nothing, leave the artifact
+        # byte-untouched — but still refresh the sidecar so `repro
+        # status` reports this (re)invocation as complete.
+        progress.start(resumed=len(retained))
+        progress.finish()
+        return result
 
     fn = cell_fn if cell_fn is not None else _default_cell_fn
     tasks = [
@@ -657,6 +673,7 @@ def run_shard(
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp_path, out_path)
+    progress.start(resumed=len(retained))
     with open(out_path, "a", encoding="utf-8") as fh:
         results = iter_tasks(
             _guarded_cell, tasks, max_workers=max_workers, serial=serial
@@ -671,6 +688,7 @@ def run_shard(
             records.append(record)
             fh.write(_dump(record) + "\n")
             fh.flush()
+            progress.cell_finished(error=(status != "ok"), attempts=attempts)
         if spec.telemetry:
             snaps = [
                 r["telemetry"] for r in records
@@ -681,6 +699,7 @@ def run_shard(
                 _dump({"kind": SHARD_TELEMETRY_KIND, "snapshot": merged})
                 + "\n"
             )
+    progress.finish()
     return result
 
 

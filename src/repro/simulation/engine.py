@@ -61,7 +61,8 @@ from ..network.node import BaseStation, NodeArray
 from ..network.packet import PacketArena, PacketStats, PacketStatus
 from ..network.queueing import QueueBank, SourceBuffers
 from ..network.queueing import utilization as _utilization
-from ..telemetry import NULL, Telemetry, run_manifest
+from ..telemetry import NULL, NULL_TRACER, SpanTracer, Telemetry, run_manifest
+from ..telemetry.trace import rss_mb
 from .metrics import RoundStats, SimulationResult
 from .state import NetworkState
 from .trace import TraceRecorder
@@ -117,6 +118,16 @@ class SimulationEngine:
         no-op :data:`~repro.telemetry.NULL` singleton, which never
         touches an RNG stream — telemetry on or off, runs are
         bit-identical.
+    tracer:
+        An optional :class:`~repro.telemetry.SpanTracer`.  When given,
+        the run becomes a hierarchical span stream (run → round →
+        phase → kernel call, fault events as instants) exportable as
+        JSONL or a Perfetto-loadable Chrome trace.  Defaults to the
+        no-op :data:`~repro.telemetry.NULL_TRACER`; like telemetry,
+        tracing never touches an RNG stream.  Attaching a tracer (or
+        ``Telemetry(profile_kernels=True)``) wraps the kernel backend
+        in :class:`~repro.kernels.ProfiledBackend` — numerically
+        invisible, and the manifest still records the inner backend.
     """
 
     def __init__(
@@ -132,10 +143,12 @@ class SimulationEngine:
         batched: bool = True,
         backend: str | KernelBackend | None = None,
         telemetry: Telemetry | None = None,
+        tracer: SpanTracer | None = None,
     ) -> None:
         self.config = config
         self.protocol = protocol
         self.telemetry = telemetry if telemetry is not None else NULL
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if config.equivalence != "bitwise" and trace is not None:
             raise EquivalenceError(
                 "golden traces require bitwise equivalence; a "
@@ -147,6 +160,22 @@ class SimulationEngine:
             backend if backend is not None else config.backend,
             equivalence=config.equivalence,
         )
+        # Kernel profiling is opt-in (scalar and batched paths issue
+        # different kernel call *counts*, so auto-profiling would break
+        # their deterministic-view equality); the wrapper is
+        # numerically invisible and proxies the inner backend's name.
+        if self.telemetry.profile_kernels or self.tracer.enabled:
+            from ..kernels import ProfiledBackend
+
+            self.kernels = ProfiledBackend(
+                self.kernels,
+                registry=(
+                    self.telemetry.registry
+                    if self.telemetry.profile_kernels
+                    else None
+                ),
+                tracer=self.tracer,
+            )
         self.state = NetworkState(
             config,
             nodes=nodes,
@@ -187,6 +216,7 @@ class SimulationEngine:
                 self.state.fault_rng,
                 self.state.n,
                 self.state.bs_index,
+                tracer=self.tracer,
             )
             self._recovering = self.faults.recovering
             #: Per-sender degradation bookkeeping (recovery path only):
@@ -206,12 +236,14 @@ class SimulationEngine:
         #: Self-describing header shared by the trace dump and the
         #: telemetry snapshot (built lazily only when someone records).
         self.manifest: dict | None = None
-        if self.trace is not None or self.telemetry.enabled:
+        if self.trace is not None or self.telemetry.enabled or self.tracer.enabled:
             self.manifest = run_manifest(
                 config, protocol.name, backend=self.kernels.name
             )
         if self.trace is not None and self.trace.manifest is None:
             self.trace.manifest = self.manifest
+        if self.tracer.enabled and self.tracer.manifest is None:
+            self.tracer.manifest = self.manifest
         if self.telemetry.enabled:
             self.state.channel.bind_telemetry(self.telemetry)
             self._tel_energy_mark = self.state.ledger.category_breakdown()
@@ -267,6 +299,7 @@ class SimulationEngine:
         st = self.state
         arena = self.arena
         tel = self.telemetry
+        trc = self.tracer
         bits = self.config.traffic.packet_bits
         # Canonical order: ascending sender index.  Within-slot
         # contention (queue capacity, BS budget) resolves in this order
@@ -300,10 +333,12 @@ class SimulationEngine:
         else:
             targets = np.full(senders.size, st.bs_index, dtype=np.int64)
         tel.lap("relay_choice")
+        trc.lap("relay_choice")
         rows = self.buffers.peek(senders)
         d = st.distances_many(senders, targets)
         st.ledger.discharge_many(senders, st.radio.tx(bits, d), "tx")
         tel.lap("discharge")
+        trc.lap("discharge")
         # Liveness snapshot after the tx charges: a target killed by
         # this slot's receptions still ACKs this slot's arrivals.
         to_bs = targets == st.bs_index
@@ -312,6 +347,7 @@ class SimulationEngine:
         draws = st.channel.attempt_batch(d, senders, targets)
         arrived = draws & target_alive
         tel.lap("channel")
+        trc.lap("channel")
         # Every arrival at a non-BS target costs that target rx energy
         # (heads pay even for packets their full queue then rejects —
         # the radio listened either way).
@@ -319,6 +355,7 @@ class SimulationEngine:
         if rx_targets.size:
             st.ledger.discharge_many(rx_targets, st.radio.rx(bits), "rx")
         tel.lap("discharge")
+        trc.lap("discharge")
 
         pos = bank.position(targets)
         acks = np.zeros(senders.size, dtype=bool)
@@ -430,10 +467,12 @@ class SimulationEngine:
         if free_rows:
             arena.free(np.concatenate(free_rows))
         tel.lap("queue_offer")
+        trc.lap("queue_offer")
 
         st.link_estimator.update_batch(senders, targets, acks)
         self.protocol.on_transmissions(st, senders, targets, acks)
         tel.lap("estimator")
+        trc.lap("estimator")
 
     def _service(
         self,
@@ -705,7 +744,11 @@ class SimulationEngine:
         st = self.state
         cfg = self.config
         tel = self.telemetry
+        trc = self.tracer
         t_round = tel.now()
+        if trc.enabled:
+            trc.begin("round", cat="round", args={"round": st.round_index})
+            trc.lap_start()
         tel.lap_start()
         # Inter-round environment dynamics (extensions; both no-ops in
         # the paper's static, battery-only evaluation).
@@ -727,6 +770,7 @@ class SimulationEngine:
         energy_before = st.ledger.total_spent
         v_before = getattr(self.protocol, "v_update_count", 0)
         tel.lap("setup")
+        trc.lap("setup")
 
         heads = self.protocol.validate_heads(
             st, self.protocol.select_cluster_heads(st)
@@ -747,6 +791,7 @@ class SimulationEngine:
         fused: list[_FusedBatch] = []
         stats = PacketStats()
         tel.lap("ch_select")
+        trc.lap("ch_select")
 
         slots = cfg.traffic.slots_per_round
         base_slot = st.round_index * slots
@@ -757,11 +802,14 @@ class SimulationEngine:
                 self.faults.at_slot(st, heads, slot)
             self._generate(abs_slot, is_head, stats)
             tel.lap("generate")
+            trc.lap("generate")
             self._transmit(abs_slot, heads, is_head, bank, stats)
             self._service(abs_slot, bank, fused, stats)
             tel.lap("service")
+            trc.lap("service")
         self._uplink(heads, fused, bank, base_slot + slots, stats)
         tel.lap("uplink")
+        trc.lap("uplink")
         self.protocol.on_round_end(st, heads)
 
         if self._first_death_round is None and st.ledger.any_dead:
@@ -782,8 +830,23 @@ class SimulationEngine:
         if self.trace is not None:
             self.trace.record(round_stats, heads, st.ledger.residual)
         tel.lap("round_end")
+        trc.lap("round_end")
         if tel.enabled:
             self._record_round_telemetry(round_stats, peaks, tel.now() - t_round)
+        if trc.enabled:
+            # Periodic memory sample *inside* the round span, so the
+            # instant nests under the round it was taken in.
+            if st.round_index % 8 == 0:
+                report = st.memory_report()
+                trc.instant(
+                    "mem/sample",
+                    cat="mem",
+                    args={
+                        "rss_mb": rss_mb(),
+                        "resident_mb": report["resident_mb"],
+                    },
+                )
+            trc.end()
         st.round_index += 1
         return round_stats
 
@@ -819,9 +882,30 @@ class SimulationEngine:
                 _utilization(peaks, self.config.queue.capacity)
             )
         reg.gauge("time/round").observe(round_wall)
+        if rs.round_index % 8 == 0:
+            # Periodic memory sampling: nondeterministic by nature, so
+            # both metrics live under prefixes deterministic_view strips
+            # (``mem/`` and ``prof/rss``).
+            reg.gauge("mem/resident_mb").observe(
+                self.state.memory_report()["resident_mb"]
+            )
+            rss = rss_mb()
+            if rss is not None:
+                reg.gauge("prof/rss/mb").observe(rss)
 
     def run(self) -> SimulationResult:
         """Execute the full scenario and return the aggregated result."""
+        trc = self.tracer
+        if trc.enabled:
+            trc.begin(
+                "run",
+                cat="run",
+                args={
+                    "protocol": self.protocol.name,
+                    "seed": self.config.seed,
+                    "rounds": self.config.rounds,
+                },
+            )
         for _ in range(self.config.rounds):
             self.run_round()
             if self.stop_on_death and self._first_death_round is not None:
@@ -837,6 +921,8 @@ class SimulationEngine:
                 self.telemetry.counter("packets/expired").add(rows.size)
             self.arena.mark(rows, PacketStatus.EXPIRED)
             self.arena.free(rows)
+        if trc.enabled:
+            trc.end()
         result = SimulationResult(
             protocol=self.protocol.name,
             rounds_executed=len(self._rounds),

@@ -31,6 +31,7 @@ from .manifest import (
     stable_fingerprint,
 )
 from .registry import (
+    NONDETERMINISTIC_PREFIXES,
     TIME_PREFIX,
     Counter,
     Gauge,
@@ -40,22 +41,39 @@ from .registry import (
     merge_snapshots,
 )
 from .timers import NULL, NullTelemetry, Telemetry
+from .trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    SpanTracer,
+    merge_trace_summaries,
+    read_trace_jsonl,
+    rss_mb,
+)
 
 __all__ = [
     "MANIFEST_KIND",
     "MANIFEST_SCHEMA",
+    "NONDETERMINISTIC_PREFIXES",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricRegistry",
     "NULL",
+    "NULL_TRACER",
     "NullTelemetry",
+    "NullTracer",
     "SHARD_MANIFEST_KIND",
+    "SpanTracer",
     "TIME_PREFIX",
+    "TRACE_SCHEMA",
     "Telemetry",
     "config_fingerprint",
     "deterministic_view",
     "merge_snapshots",
+    "merge_trace_summaries",
+    "read_trace_jsonl",
+    "rss_mb",
     "run_manifest",
     "shard_manifest",
     "stable_fingerprint",

@@ -355,14 +355,24 @@ def merge_snapshots(*snapshots: Mapping) -> dict:
     return merged.snapshot()
 
 
-def deterministic_view(snapshot: Mapping) -> dict:
-    """The snapshot minus wall-clock (``time/``-prefixed) metrics.
+#: Metric-name prefixes that are wall-clock or host-dependent and are
+#: therefore stripped by :func:`deterministic_view`: ``time/`` (wall
+#: seconds), ``mem/`` (memory-report samples), and ``prof/rss`` (RSS
+#: samples).  Everything else — including the ``prof/kernels/``
+#: invocation/element/byte counters — must be a pure function of the
+#: seeded RNG streams.  Documented in docs/observability.md.
+NONDETERMINISTIC_PREFIXES = (TIME_PREFIX, "mem/", "prof/rss")
 
+
+def deterministic_view(snapshot: Mapping) -> dict:
+    """The snapshot minus wall-clock-adjacent metrics.
+
+    Strips every name matching :data:`NONDETERMINISTIC_PREFIXES`.
     Everything that remains is a pure function of the simulation's
     seeded RNG streams, so a pool sweep and a serial sweep must agree
-    on it exactly.
+    on it exactly — profiling enabled or not.
     """
     return {
         name: dict(m) for name, m in snapshot.items()
-        if not name.startswith(TIME_PREFIX)
+        if not name.startswith(NONDETERMINISTIC_PREFIXES)
     }

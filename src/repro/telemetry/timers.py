@@ -69,8 +69,20 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, registry: MetricRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricRegistry | None = None,
+        profile_kernels: bool = False,
+    ) -> None:
         self.registry = registry if registry is not None else MetricRegistry()
+        #: Opt-in kernel profiling: when True the engine wraps its
+        #: backend in :class:`~repro.kernels.profiling.ProfiledBackend`
+        #: so per-kernel ``prof/kernels/*`` counters and
+        #: ``time/kernel/*`` wall-clock accumulate here.  Opt-in
+        #: because kernel *call counts* differ between the scalar and
+        #: batched engine paths — with profiling off, their
+        #: deterministic views stay exactly equal.
+        self.profile_kernels = bool(profile_kernels)
         self._t_last = 0.0
         #: Phase-name -> counter cache so the hot path skips the
         #: registry dict and string concatenation after first use.
@@ -129,6 +141,7 @@ class NullTelemetry:
 
     enabled = False
     registry = None
+    profile_kernels = False
 
     def lap_start(self) -> None:
         pass

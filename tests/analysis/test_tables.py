@@ -124,3 +124,53 @@ class TestRenderTelemetry:
 
     def test_empty_snapshot(self):
         assert "(no telemetry)" in render_telemetry({})
+
+
+class TestRenderTelemetryTolerance:
+    """Snapshots from newer producers must render, never KeyError."""
+
+    def test_unknown_metric_names_ignored(self):
+        snapshot = {
+            "prof/kernels/distance_block/calls": {"kind": "counter", "value": 9},
+            "totally/new/metric": {"kind": "counter", "value": 1},
+            "packets/generated": {"kind": "counter", "value": 10},
+        }
+        out = render_telemetry(snapshot)
+        assert "generated" in out
+
+    def test_gauge_shaped_metric_under_known_prefix(self):
+        # A gauge under packets/ (no "value" key) must render via its
+        # total, not crash the counter-assuming comprehension.
+        snapshot = {
+            "packets/generated": {"kind": "counter", "value": 10},
+            "packets/inflight": {
+                "kind": "gauge", "count": 2, "total": 7.0,
+                "min": 3.0, "max": 4.0,
+            },
+        }
+        out = render_telemetry(snapshot)
+        assert "inflight" in out and "generated" in out
+
+    def test_unrecognized_shape_renders_zero(self):
+        snapshot = {"energy/tx_j": {"kind": "mystery", "blob": [1, 2]}}
+        out = render_telemetry(snapshot)
+        assert "tx" in out
+
+    def test_channel_attempts_without_acks(self):
+        snapshot = {"channel/attempts": {"kind": "counter", "value": 5}}
+        out = render_telemetry(snapshot)
+        assert "0/5" in out
+
+    def test_acks_without_attempts_no_crash(self):
+        snapshot = {"channel/acks": {"kind": "counter", "value": 5}}
+        render_telemetry(snapshot)  # must not raise
+
+    def test_gauge_shaped_phase_metric(self):
+        snapshot = {
+            "time/phase/setup": {
+                "kind": "gauge", "count": 1, "total": 0.25,
+                "min": 0.25, "max": 0.25,
+            },
+        }
+        out = render_telemetry(snapshot)
+        assert "setup" in out

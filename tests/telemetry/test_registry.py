@@ -230,3 +230,22 @@ class TestSnapshotHelpers:
         view = deterministic_view(make_registry_a().snapshot())
         assert "time/phase/channel" not in view
         assert "packets/generated" in view
+
+
+class TestNondeterministicPrefixes:
+    """deterministic_view strips every NONDETERMINISTIC_PREFIXES name."""
+
+    def test_strips_mem_and_rss_keeps_prof_kernels(self):
+        from repro.telemetry import NONDETERMINISTIC_PREFIXES
+
+        reg = MetricRegistry()
+        reg.counter("prof/kernels/distance_block/calls").add(3)
+        reg.gauge("mem/resident_mb").observe(6.2)
+        reg.gauge("prof/rss/mb").observe(240.0)
+        reg.counter("time/phase/setup").add(0.1)
+        reg.counter("packets/generated").add(10)
+        view = deterministic_view(reg.snapshot())
+        assert set(view) == {
+            "prof/kernels/distance_block/calls", "packets/generated",
+        }
+        assert NONDETERMINISTIC_PREFIXES == ("time/", "mem/", "prof/rss")

@@ -188,3 +188,94 @@ class TestShardCommands:
     def test_sweep_bad_shard_selector(self):
         with pytest.raises(ValueError):
             main(["sweep", *self.GRID, "--shard", "3/2"])
+
+
+class TestVersionCommand:
+    def test_version_subcommand(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert "numpy" in out and "numba" in out
+
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_version_reports_package_version(self, capsys):
+        from repro import __version__
+
+        main(["version"])
+        assert __version__ in capsys.readouterr().out
+
+
+class TestStatusCommand:
+    GRID = [
+        "--protocols", "direct", "--lambdas", "4", "8", "--seeds", "0", "1",
+        "--rounds", "2", "--serial",
+    ]
+
+    def test_status_matches_merged_artifact(self, tmp_path, capsys):
+        """Acceptance: on a 2-shard sweep, `repro status` reports cells
+        done/failed matching the merged artifact exactly."""
+        from repro.parallel import merge_artifacts
+
+        paths = []
+        for k in (1, 2):
+            out = tmp_path / f"s{k}.jsonl"
+            assert main(
+                ["sweep", *self.GRID, "--shard", f"{k}/2", "--out", str(out)]
+            ) == 0
+            paths.append(out)
+        capsys.readouterr()
+        assert main(["status", str(tmp_path)]) == 0
+        stdout = capsys.readouterr().out
+        merged = merge_artifacts(paths)
+        done = len(merged.sweep.rows)
+        failed = len(merged.errors)
+        assert f"fleet: {done}/{done + failed} cells done, " in stdout
+        assert f"{failed} failed (complete)" in stdout
+        assert "1/2" in stdout and "2/2" in stdout
+
+    def test_status_accepts_artifact_paths(self, tmp_path, capsys):
+        out = tmp_path / "s.jsonl"
+        assert main(
+            ["sweep", *self.GRID, "--shard", "1/1", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["status", str(out)]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_status_no_sidecars_exits_2(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path)]) == 2
+        assert "no status sidecars" in capsys.readouterr().err
+
+
+class TestScenarioTrace:
+    def test_trace_writes_jsonl_and_chrome(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run.trace.jsonl"
+        assert main(
+            ["scenario", "table2", "--protocol", "direct", "--faults",
+             "ch-kill", "--trace", str(trace_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        first = json.loads(trace_path.read_text().splitlines()[0])
+        assert first["kind"] == "manifest"
+        chrome_path = tmp_path / "run.trace.chrome.json"
+        doc = json.loads(chrome_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_trace_contains_fault_instants(self, tmp_path):
+        from repro.telemetry import read_trace_jsonl
+
+        trace_path = tmp_path / "run.trace.jsonl"
+        assert main(
+            ["scenario", "table2", "--protocol", "direct", "--faults",
+             "ch-kill", "--trace", str(trace_path)]
+        ) == 0
+        events = read_trace_jsonl(trace_path)["events"]
+        assert any(ev["cat"] == "fault" for ev in events)
