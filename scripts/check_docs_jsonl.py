@@ -20,6 +20,7 @@ import sys
 from dataclasses import fields
 from pathlib import Path
 
+from repro.parallel.scheduler import SCHED_EVENT_KIND
 from repro.parallel.status import STATUS_KIND, STATUS_SCHEMA
 from repro.simulation.trace import RoundTrace
 from repro.telemetry.manifest import (
@@ -119,12 +120,34 @@ STATUS_KEYS = {
     "failed": int,
     "retried": int,
     "resumed": int,
+    "steals": int,
+    "reclaimed": int,
     "ewma_cell_seconds": (int, float, type(None)),
     "eta_seconds": (int, float, type(None)),
     "elapsed_seconds": (int, float),
     "updated_unix": (int, float),
     "state": str,
 }
+
+#: Required keys of a scheduler-event sidecar row; the ``event`` value
+#: must be one of the lifecycle verbs the state machine emits.
+SCHED_EVENT_KEYS = {
+    "kind": str,
+    "seq": int,
+    "event": str,
+}
+
+SCHED_EVENTS = (
+    "lease",
+    "steal",
+    "requeue",
+    "reclaim",
+    "complete",
+    "duplicate",
+    "stale-failure",
+    "error",
+    "worker-dead",
+)
 
 FENCE = re.compile(r"^```jsonl\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
 
@@ -243,6 +266,21 @@ def check_status_record(obj: dict, where: str) -> list[str]:
     return errors
 
 
+def check_sched_event(obj: dict, where: str) -> list[str]:
+    errors = _check_keys(obj, SCHED_EVENT_KEYS, "sched-event row", where)
+    event = obj.get("event")
+    if event not in SCHED_EVENTS:
+        errors.append(
+            f"{where}: sched-event {event!r} is not a scheduler "
+            f"lifecycle verb (known: {', '.join(SCHED_EVENTS)})"
+        )
+    if event in ("lease", "steal", "requeue", "reclaim", "complete", "error"):
+        cid = obj.get("cell_id", "")
+        if not (isinstance(cid, str) and re.fullmatch(r"[0-9a-f]{16}", cid)):
+            errors.append(f"{where}: cell_id {cid!r} is not 16 hex digits")
+    return errors
+
+
 def check_round_record(obj: dict, where: str) -> list[str]:
     known = {f.name for f in fields(RoundTrace)}
     unknown = set(obj) - known
@@ -294,6 +332,8 @@ def check_file(path: Path) -> list[str]:
                 errors.extend(check_trace_summary(obj, where))
             elif kind == STATUS_KIND:
                 errors.extend(check_status_record(obj, where))
+            elif kind == SCHED_EVENT_KIND:
+                errors.extend(check_sched_event(obj, where))
             else:
                 errors.extend(check_round_record(obj, where))
     return errors

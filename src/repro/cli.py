@@ -13,6 +13,7 @@ Commands
 ``sensitivity``  QLEC hyperparameter robustness sweep
 ``scenario``     run one protocol on a named scenario from the catalog
 ``sweep``        run one shard of a sweep grid into a JSONL artifact
+``serve``        long-running scheduler over a directory of job files
 ``status``       render the live progress of sharded sweep invocations
 ``merge``        fold shard artifacts back into one sweep
 ``report``       run everything and write REPORT.md
@@ -148,8 +149,40 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--telemetry", action="store_true",
                      help="instrument every cell; snapshots ride in the "
                           "artifact and merge across shards")
+    swp.add_argument("--scheduler", action="store_true",
+                     help="run the whole grid under the work-stealing "
+                          "lease scheduler instead of one static shard "
+                          "(incompatible with --shard other than 1/1); "
+                          "worker deaths are reclaimed and respawned")
+    swp.add_argument("--lease-seconds", type=float, default=None,
+                     metavar="S",
+                     help="scheduler lease duration before a silent "
+                          "worker's cell is reclaimed and re-queued")
+    swp.add_argument("--compress", type=str, default=None,
+                     choices=("auto", "none", "gz", "zst"), metavar="CODEC",
+                     help="artifact compression (auto/none/gz/zst); 'auto' "
+                          "prefers zstd and degrades to gzip, an explicit "
+                          "'zst' without the zstandard package fails; "
+                          "default keeps an existing artifact's codec")
     _add_backend_arg(swp)
     _add_faults_arg(swp)
+
+    srv = sub.add_parser(
+        "serve",
+        help="long-running sweep scheduler over a directory of job files",
+    )
+    srv.add_argument("jobs_dir", type=str,
+                     help="directory holding *.job.json catalog entries; "
+                          "artifacts land in <dir>/artifacts/")
+    srv.add_argument("--once", action="store_true",
+                     help="drain the current catalog once and exit "
+                          "(instead of polling for new job files forever)")
+    srv.add_argument("--cycles", type=int, default=None, metavar="N",
+                     help="exit after N catalog passes (implies bounded run)")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="override every job's worker count")
+    srv.add_argument("--idle", type=float, default=2.0, metavar="S",
+                     help="sleep between catalog passes")
 
     mrg = sub.add_parser(
         "merge", help="fold shard artifacts back into one sweep"
@@ -436,7 +469,8 @@ def _cmd_scenario(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from .parallel import SweepSpec, parse_shard_arg, run_shard
+    from .parallel import SweepSpec, parse_shard_arg, run_scheduled, run_shard
+    from .telemetry.jsonl import compression_suffix, resolve_compression
 
     shard, num_shards = parse_shard_arg(args.shard)
     spec = SweepSpec(
@@ -451,7 +485,51 @@ def _cmd_sweep(args) -> int:
         equivalence=args.equivalence,
         max_block_mb=args.max_block_mb,
     )
-    out = args.out or f"sweep-shard-{shard}of{num_shards}.jsonl"
+    suffix = (
+        compression_suffix(resolve_compression(args.compress))
+        if args.compress
+        else ""
+    )
+    if args.scheduler:
+        if (shard, num_shards) != (1, 1):
+            print(
+                "error: --scheduler runs the whole grid; "
+                "it cannot be combined with --shard "
+                f"{shard}/{num_shards}",
+                file=sys.stderr,
+            )
+            return 2
+        out = args.out or f"sweep-scheduled.jsonl{suffix}"
+        sched = run_scheduled(
+            spec,
+            out,
+            num_workers=args.workers,
+            resume=not args.no_resume,
+            retries=args.retries,
+            compression=args.compress,
+            **(
+                {"lease_seconds": args.lease_seconds}
+                if args.lease_seconds is not None
+                else {}
+            ),
+        )
+        print(
+            f"scheduled: {len(spec)} cells -> {sched.path}"
+        )
+        print(
+            f"  executed {len(sched.executed)}, resumed {len(sched.skipped)}, "
+            f"errors {len(sched.errors)}; steals {sched.steals}, "
+            f"reclaims {sched.reclaims}, worker deaths {sched.worker_deaths}"
+        )
+        for err in sched.errors:
+            print(
+                f"  ERROR cell {err['cell_id']} "
+                f"({err['protocol']}, lambda={err['lambda']}, "
+                f"seed={err['seed']}): "
+                f"{err['error']['type']}: {err['error']['message']}"
+            )
+        return 1 if sched.errors else 0
+    out = args.out or f"sweep-shard-{shard}of{num_shards}.jsonl{suffix}"
     result = run_shard(
         spec,
         shard,
@@ -461,6 +539,7 @@ def _cmd_sweep(args) -> int:
         max_workers=args.workers,
         serial=args.serial,
         retries=args.retries,
+        compression=args.compress,
     )
     print(
         f"shard {shard}/{num_shards}: {len(result.cells)} of {len(spec)} "
@@ -477,6 +556,32 @@ def _cmd_sweep(args) -> int:
             f"{err['error']['type']}: {err['error']['message']}"
         )
     return 1 if result.errors else 0
+
+
+def _cmd_serve(args) -> int:
+    from .parallel.serve import serve_forever, serve_once
+
+    if args.once or args.cycles is not None:
+        if args.once and args.cycles is None:
+            report = serve_once(args.jobs_dir, workers=args.workers)
+        else:
+            report = serve_forever(
+                args.jobs_dir,
+                workers=args.workers,
+                idle_seconds=args.idle,
+                max_cycles=args.cycles,
+            )
+    else:  # pragma: no cover - unbounded interactive loop
+        report = serve_forever(
+            args.jobs_dir, workers=args.workers, idle_seconds=args.idle
+        )
+    print(
+        f"serve: {len(report.jobs)} job(s); executed {report.executed}, "
+        f"resumed {report.resumed}, errors {report.errors}; "
+        f"steals {report.steals}, reclaims {report.reclaims}, "
+        f"worker deaths {report.worker_deaths}"
+    )
+    return 1 if report.errors else 0
 
 
 def _cmd_status(args) -> int:
@@ -497,12 +602,19 @@ def _cmd_status(args) -> int:
         statuses.append(st)
         ewma = st["ewma_cell_seconds"]
         eta = st["eta_seconds"]
+        shard_label = (
+            "sched"
+            if (st["shard"], st["num_shards"]) == (0, 0)
+            else f"{st['shard']}/{st['num_shards']}"
+        )
         rows.append({
-            "shard": f"{st['shard']}/{st['num_shards']}",
+            "shard": shard_label,
             "state": st["state"],
             "done": st["done"],
             "failed": st["failed"],
             "retried": st["retried"],
+            "steals": st.get("steals", 0),
+            "reclaimed": st.get("reclaimed", 0),
             "total": st["cells_total"],
             "cell_s": "-" if ewma is None else f"{ewma:.2f}",
             "eta_s": "-" if eta is None else f"{eta:.1f}",
@@ -571,6 +683,7 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "status": _cmd_status,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "merge": _cmd_merge,
     "report": _cmd_report,
     "version": _cmd_version,
@@ -580,14 +693,20 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     from .kernels import BackendUnavailableError, EquivalenceError
+    from .telemetry.jsonl import CompressionUnavailableError
 
     try:
         return _COMMANDS[args.command](args)
-    except (BackendUnavailableError, EquivalenceError) as exc:
-        # An explicitly requested backend the host cannot provide — or
-        # a tier combination the policy forbids (statistical + golden
-        # traces, cross-tier merges) — is a usage error, not a crash:
-        # say what is wrong and how to proceed, exit distinctly.
+    except (
+        BackendUnavailableError,
+        EquivalenceError,
+        CompressionUnavailableError,
+    ) as exc:
+        # An explicitly requested backend or codec the host cannot
+        # provide — or a tier combination the policy forbids
+        # (statistical + golden traces, cross-tier merges) — is a
+        # usage error, not a crash: say what is wrong and how to
+        # proceed, exit distinctly.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

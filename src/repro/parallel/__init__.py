@@ -2,12 +2,21 @@
 
 from .pool import default_workers, fold_results, iter_tasks, run_tasks
 from .rng import SeedFactory, spawn_generators
+from .scheduler import (
+    SCHED_EVENT_KIND,
+    Lease,
+    ScheduledRunResult,
+    SweepScheduler,
+    run_scheduled,
+    scheduler_events_path,
+)
 from .sharding import (
     MergedSweep,
     ShardArtifact,
     ShardRunResult,
     SweepCell,
     SweepSpec,
+    artifact_compression,
     classify_error,
     load_artifact,
     merge_artifacts,
@@ -26,15 +35,20 @@ from .status import (
 )
 
 __all__ = [
+    "Lease",
     "MergedSweep",
+    "SCHED_EVENT_KIND",
     "STATUS_KIND",
     "STATUS_SCHEMA",
+    "ScheduledRunResult",
     "SeedFactory",
     "ShardArtifact",
     "ShardRunResult",
     "ShardStatusWriter",
     "SweepCell",
+    "SweepScheduler",
     "SweepSpec",
+    "artifact_compression",
     "classify_error",
     "default_workers",
     "find_status_files",
@@ -45,8 +59,10 @@ __all__ = [
     "merge_artifacts",
     "parse_shard_arg",
     "partition_cells",
+    "run_scheduled",
     "run_shard",
     "run_tasks",
+    "scheduler_events_path",
     "shard_status_path",
     "spawn_generators",
     "write_merged_artifact",

@@ -54,6 +54,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from ..telemetry.jsonl import (
+    JsonlWriter,
+    detect_compression,
+    read_jsonl_tolerant,
+    resolve_compression,
+)
 from ..telemetry.manifest import (
     SHARD_MANIFEST_KIND,
     shard_manifest,
@@ -381,22 +387,41 @@ def _default_cell_fn(
     )
 
 
-#: Exception classes whose failures are a pure function of the cell's
-#: inputs — a bad value, a missing attribute, a broken invariant.  Re-
-#: running the identical deterministic computation cannot change the
-#: outcome, so retrying them only burns worker time.  Everything else
-#: (OSError, MemoryError, RuntimeError, ...) is treated as transient:
-#: environmental causes — a flaky filesystem, memory pressure, a worker
-#: wedged mid-import — can heal between attempts.
-_DETERMINISTIC_ERRORS = (
-    ValueError,
-    TypeError,
-    LookupError,
-    AttributeError,
-    AssertionError,
-    ArithmeticError,
-    NotImplementedError,
-)
+def _deterministic_errors() -> tuple:
+    """Exception classes whose failures are a pure function of the
+    cell's inputs — a bad value, a missing attribute, a broken
+    invariant, an unpicklable payload.  Re-running the identical
+    deterministic computation cannot change the outcome, so retrying
+    (or re-leasing) them only burns worker time.  Everything else
+    (OSError, MemoryError, RuntimeError, worker deaths, ...) is treated
+    as transient: environmental causes — a flaky filesystem, memory
+    pressure, a worker wedged mid-import, a SIGKILL — can heal between
+    attempts.  The full taxonomy is pinned by
+    ``tests/parallel/test_classify_errors.py``, which is the spec the
+    scheduler's re-lease decisions run on.
+    """
+    import pickle
+
+    return (
+        ValueError,
+        TypeError,
+        LookupError,
+        AttributeError,
+        AssertionError,
+        ArithmeticError,
+        NotImplementedError,
+        # Serialising the same result object fails the same way every
+        # time: a pickling casualty re-leased to another worker would
+        # just fail there too.
+        pickle.PicklingError,
+        pickle.UnpicklingError,
+        # RecursionError subclasses RuntimeError, but unbounded
+        # recursion is a property of the computation, not the host.
+        RecursionError,
+    )
+
+
+_DETERMINISTIC_ERRORS = _deterministic_errors()
 
 
 def classify_error(exc: BaseException) -> str:
@@ -404,9 +429,16 @@ def classify_error(exc: BaseException) -> str:
 
     Deterministic failures will reproduce on every retry of the same
     cell (same config, same seed, same code); transient ones might not.
-    The class drives the retry policy in :func:`_guarded_cell` and is
-    recorded on ``cell-error`` artifact rows so a merge report can tell
-    "rerun these shards" casualties from "fix the code" ones.
+    The class drives the retry policy in :func:`_guarded_cell`, the
+    re-lease policy in :class:`repro.parallel.scheduler.SweepScheduler`
+    (deterministic failures become ``cell-error`` rows immediately;
+    transient ones re-lease), and is recorded on ``cell-error``
+    artifact rows so a merge report can tell "rerun these shards"
+    casualties from "fix the code" ones.  ``KeyboardInterrupt`` /
+    ``SystemExit`` classify transient — an interrupted worker says
+    nothing about the cell — though :func:`_guarded_cell` never absorbs
+    them (BaseException rips through; the scheduler sees a dead
+    worker instead).
     """
     return (
         "deterministic"
@@ -517,6 +549,20 @@ def _dump(record: dict) -> str:
     return json.dumps(record, sort_keys=True)
 
 
+def artifact_compression(out_path, compression: str | None) -> str:
+    """Resolve the codec one artifact (re)write should use.
+
+    An explicit selector wins (``"auto"`` resolved by availability);
+    ``None`` keeps whatever an existing artifact already uses — sniffed
+    from its magic bytes, or from the path suffix for a fresh file —
+    so a resumed compressed artifact stays compressed without the
+    caller restating the choice.
+    """
+    if compression is not None:
+        return resolve_compression(compression)
+    return detect_compression(out_path)
+
+
 def run_shard(
     spec: SweepSpec,
     shard: int,
@@ -528,6 +574,7 @@ def run_shard(
     serial: bool = False,
     retries: int = 1,
     cell_fn: Callable | None = None,
+    compression: str | None = None,
 ) -> ShardRunResult:
     """Execute shard ``shard/num_shards`` of ``spec`` into a JSONL artifact.
 
@@ -550,12 +597,19 @@ def run_shard(
         Override of the cell executor (module-level picklable callable
         with :func:`repro.analysis.sweep.run_cell`'s positional
         signature) — the fault-injection seam used by the tests.
+    compression:
+        Artifact codec selector (``auto``/``none``/``gz``/``zst``);
+        ``None`` keeps an existing artifact's codec (sniffed) or picks
+        by path suffix for a fresh one.  Compression is transport, not
+        identity — it never enters fingerprints or cell IDs, and
+        :func:`load_artifact` reads any codec transparently.
     """
     if not 1 <= shard <= num_shards:
         raise ValueError(f"shard {shard}/{num_shards} out of range")
     if retries < 0:
         raise ValueError("retries must be >= 0")
     out_path = Path(out_path)
+    codec = artifact_compression(out_path, compression)
     cells = partition_cells(spec.cells(), num_shards)[shard - 1]
     by_id = {c.cell_id: c for c in cells}
 
@@ -657,24 +711,25 @@ def run_shard(
     # never truncates away already-computed (retained) rows: the old
     # artifact survives intact until the manifest and every retained row
     # are durably on disk.  Newly computed rows then append to the
-    # replaced file, keeping the stream-checkpoint property.
+    # replaced file, keeping the stream-checkpoint property (on a
+    # compressed artifact the append session is a fresh member/frame,
+    # which the concatenation-aware tolerant reader handles).
     tmp_path = out_path.with_name(out_path.name + ".tmp")
-    with open(tmp_path, "w", encoding="utf-8") as fh:
-        fh.write(
+    with JsonlWriter(tmp_path, compression=codec) as fh:
+        fh.write_line(
             _dump(
                 shard_manifest(
                     spec.to_payload(), spec.fingerprint, shard, num_shards
                 )
             )
-            + "\n"
         )
         for record in records:
-            fh.write(_dump(record) + "\n")
-        fh.flush()
-        os.fsync(fh.fileno())
+            fh.write_line(_dump(record))
+        fh.flush(fsync=True)
     os.replace(tmp_path, out_path)
     progress.start(resumed=len(retained))
-    with open(out_path, "a", encoding="utf-8") as fh:
+    fh = JsonlWriter(out_path, compression=codec, append=True)
+    try:
         results = iter_tasks(
             _guarded_cell, tasks, max_workers=max_workers, serial=serial
         )
@@ -686,7 +741,7 @@ def run_shard(
                 record = _error_record(cell, payload, attempts)
                 result.errors.append(record)
             records.append(record)
-            fh.write(_dump(record) + "\n")
+            fh.write_line(_dump(record))
             fh.flush()
             progress.cell_finished(error=(status != "ok"), attempts=attempts)
         if spec.telemetry:
@@ -695,10 +750,11 @@ def run_shard(
                 if r["kind"] == CELL_KIND and "telemetry" in r
             ]
             merged = fold_results(snaps, merge_snapshots) if snaps else {}
-            fh.write(
+            fh.write_line(
                 _dump({"kind": SHARD_TELEMETRY_KIND, "snapshot": merged})
-                + "\n"
             )
+    finally:
+        fh.close()
     progress.finish()
     return result
 
@@ -740,24 +796,16 @@ class ShardArtifact:
 def load_artifact(path) -> ShardArtifact:
     """Parse a shard artifact, tolerating a torn final line.
 
-    A crash mid-append leaves at most one partial trailing line; that
-    line is dropped (the cell it would have recorded is simply
-    recomputed on resume).  Any other malformed line is an error.
+    Goes through the shared tolerant reader
+    (:func:`repro.telemetry.jsonl.read_jsonl_tolerant`), so plain,
+    gzip-, and zstd-compressed artifacts all load transparently (codec
+    sniffed from magic bytes) and a crash mid-append — a partial
+    trailing line, or a truncated compressed tail — costs at most the
+    final record: the cell it would have recorded is simply recomputed
+    on resume.  Any other malformed line is an error.
     """
     path = Path(path)
-    lines = path.read_text(encoding="utf-8").splitlines()
-    if not lines:
-        raise ValueError(f"{path}: empty artifact")
-    parsed: list[dict] = []
-    for i, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            parsed.append(json.loads(line))
-        except json.JSONDecodeError:
-            if i == len(lines) - 1:
-                break  # torn tail from a crash mid-write
-            raise ValueError(f"{path}: malformed JSONL at line {i + 1}") from None
+    parsed = read_jsonl_tolerant(path)
     if not parsed or parsed[0].get("kind") != SHARD_MANIFEST_KIND:
         raise ValueError(f"{path}: missing {SHARD_MANIFEST_KIND!r} header")
     return ShardArtifact(manifest=parsed[0], records=parsed[1:], path=path)
@@ -888,7 +936,9 @@ def merge_artifacts(
     )
 
 
-def write_merged_artifact(merged: MergedSweep, artifacts, path) -> Path:
+def write_merged_artifact(
+    merged: MergedSweep, artifacts, path, *, compression: str | None = None
+) -> Path:
     """Persist a merge as an artifact of its own (hierarchical merges).
 
     The output uses the reserved ``shard 0/0`` marker and the union of
@@ -901,6 +951,7 @@ def write_merged_artifact(merged: MergedSweep, artifacts, path) -> Path:
         for a in artifacts
     ]
     path = Path(path)
+    codec = artifact_compression(path, compression)
     resolved = set()
     records: dict[str, dict] = {}
     for art in loaded:
@@ -913,25 +964,23 @@ def write_merged_artifact(merged: MergedSweep, artifacts, path) -> Path:
                 records.setdefault(record["cell_id"], record)
     order = {c.cell_id: i for i, c in enumerate(merged.spec.cells())}
     body = sorted(records.values(), key=lambda r: order[r["cell_id"]])
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(
+    with JsonlWriter(path, compression=codec) as fh:
+        fh.write_line(
             _dump(
                 shard_manifest(
                     merged.spec.to_payload(), merged.spec.fingerprint, 0, 0
                 )
             )
-            + "\n"
         )
         for record in body:
-            fh.write(_dump(record) + "\n")
+            fh.write_line(_dump(record))
         if merged.sweep.telemetry is not None:
-            fh.write(
+            fh.write_line(
                 _dump(
                     {
                         "kind": SHARD_TELEMETRY_KIND,
                         "snapshot": merged.sweep.telemetry,
                     }
                 )
-                + "\n"
             )
     return path

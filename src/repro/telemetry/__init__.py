@@ -15,12 +15,24 @@ Three pieces:
   singleton whose hooks are no-ops, keeping the instrumented engine
   single-path and essentially free when telemetry is off;
 * :mod:`~repro.telemetry.manifest` — config fingerprints and the
-  run-manifest header that makes trace files self-describing.
+  run-manifest header that makes trace files self-describing;
+* :mod:`~repro.telemetry.jsonl` — the shared torn-tail-tolerant JSONL
+  reader and the optional gzip/zstd compression codecs every artifact
+  writer and reader goes through.
 
 See ``docs/observability.md`` for the metric-name taxonomy and the
 trace JSONL schema.
 """
 
+from .jsonl import (
+    COMPRESSION_CHOICES,
+    CompressionUnavailableError,
+    JsonlWriter,
+    detect_compression,
+    read_jsonl_tolerant,
+    read_text_tolerant,
+    resolve_compression,
+)
 from .manifest import (
     MANIFEST_KIND,
     MANIFEST_SCHEMA,
@@ -52,6 +64,9 @@ from .trace import (
 )
 
 __all__ = [
+    "COMPRESSION_CHOICES",
+    "CompressionUnavailableError",
+    "JsonlWriter",
     "MANIFEST_KIND",
     "MANIFEST_SCHEMA",
     "NONDETERMINISTIC_PREFIXES",
@@ -69,10 +84,14 @@ __all__ = [
     "TRACE_SCHEMA",
     "Telemetry",
     "config_fingerprint",
+    "detect_compression",
     "deterministic_view",
     "merge_snapshots",
     "merge_trace_summaries",
+    "read_jsonl_tolerant",
+    "read_text_tolerant",
     "read_trace_jsonl",
+    "resolve_compression",
     "rss_mb",
     "run_manifest",
     "shard_manifest",

@@ -415,23 +415,18 @@ def merge_trace_summaries(*summaries: dict) -> dict:
 def read_trace_jsonl(path) -> dict:
     """Parse a span dump back into ``{"manifest", "events", "summary"}``.
 
-    Tolerates a torn final line (crash mid-write), like every other
-    JSONL reader in the repo; a manifest anywhere but line one is an
-    error.
+    Reads through the shared tolerant JSONL reader
+    (:func:`repro.telemetry.jsonl.read_jsonl_tolerant`), so a torn
+    final line (crash mid-write) — or a truncated compressed tail — is
+    dropped like in every other artifact reader in the repo; a
+    manifest anywhere but record one is an error.
     """
-    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    from .jsonl import read_jsonl_tolerant
+
     manifest = None
     summary = None
     events: list[dict] = []
-    for i, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            obj = json.loads(line)
-        except json.JSONDecodeError:
-            if i == len(lines) - 1:
-                break
-            raise ValueError(f"{path}: malformed JSONL at line {i + 1}") from None
+    for i, obj in enumerate(read_jsonl_tolerant(path)):
         kind = obj.get("kind")
         if kind == MANIFEST_KIND:
             if i != 0:
@@ -442,7 +437,9 @@ def read_trace_jsonl(path) -> dict:
         elif kind == TRACE_SUMMARY_KIND:
             summary = obj
         else:
-            raise ValueError(f"{path}: unknown record kind {kind!r} at line {i + 1}")
+            raise ValueError(
+                f"{path}: unknown record kind {kind!r} at record {i + 1}"
+            )
     return {"manifest": manifest, "events": events, "summary": summary}
 
 

@@ -149,6 +149,90 @@ class TestRunShardIntegration:
         assert status["done"] == len(SPEC)
 
 
+class TestEtaUnderEwma:
+    def test_eta_monotone_for_constant_cell_times(self, tmp_path):
+        # One tick per cell: the EWMA settles immediately, so the ETA
+        # must fall strictly with every finished cell — a status line
+        # that says "9 minutes left" may never later say "12".
+        ticks = iter(range(1000))
+        w = ShardStatusWriter(
+            tmp_path / "shard.jsonl",
+            spec_fingerprint="0" * 16,
+            shard=1,
+            num_shards=1,
+            cells_total=8,
+            clock=lambda: float(next(ticks)),
+            wall=lambda: 1754650000.0,
+        )
+        w.start()
+        for _ in range(8):
+            w.cell_finished()
+        rows = [
+            json.loads(line) for line in w.path.read_text().splitlines()
+        ]
+        etas = [r["eta_seconds"] for r in rows if r["eta_seconds"] is not None]
+        assert etas == sorted(etas, reverse=True)
+        assert etas[-1] == 0.0
+
+    def test_eta_monotone_when_cells_speed_up(self, tmp_path):
+        # Cell times falling (warm caches): the EWMA lags but the ETA
+        # must still never rise.
+        t = {"now": 0.0}
+        w = ShardStatusWriter(
+            tmp_path / "shard.jsonl",
+            spec_fingerprint="0" * 16,
+            shard=1,
+            num_shards=1,
+            cells_total=5,
+            clock=lambda: t["now"],
+            wall=lambda: 1754650000.0,
+        )
+        w.start()
+        for dt in (8.0, 4.0, 2.0, 1.0, 0.5):
+            t["now"] += dt
+            w.cell_finished()
+        rows = [
+            json.loads(line) for line in w.path.read_text().splitlines()
+        ]
+        etas = [r["eta_seconds"] for r in rows if r["eta_seconds"] is not None]
+        assert all(b <= a for a, b in zip(etas, etas[1:]))
+
+
+class TestSchedulerStatus:
+    def test_scheduler_counters_flow_into_rows(self, tmp_path):
+        ticks = iter(range(1000))
+        w = ShardStatusWriter(
+            tmp_path / "sched.jsonl",
+            spec_fingerprint="0" * 16,
+            shard=0,
+            num_shards=0,
+            cells_total=2,
+            clock=lambda: float(next(ticks)),
+            wall=lambda: 1754650000.0,
+        )
+        w.start()
+        w.steals = 3
+        w.reclaimed = 1
+        w.cell_finished()
+        row = load_status(w.path)
+        assert (row["shard"], row["num_shards"]) == (0, 0)
+        assert row["steals"] == 3
+        assert row["reclaimed"] == 1
+
+    def test_run_scheduled_writes_live_sidecar(self, tmp_path):
+        from repro.parallel.scheduler import run_scheduled
+
+        out = tmp_path / "sched.jsonl"
+        result = run_scheduled(SPEC, out, num_workers=2, poll_seconds=0.02)
+        status = load_status(shard_status_path(out))
+        assert status["state"] == "complete"
+        assert status["done"] == len(SPEC)
+        assert status["failed"] == 0
+        assert status["steals"] == result.steals
+        assert status["reclaimed"] == result.reclaims
+        assert (status["shard"], status["num_shards"]) == (0, 0)
+
+
 class TestFindStatusFiles:
     def test_resolution_modes(self, tmp_path):
         out = tmp_path / "sub" / "shard.jsonl"

@@ -279,3 +279,126 @@ class TestScenarioTrace:
         ) == 0
         events = read_trace_jsonl(trace_path)["events"]
         assert any(ev["cat"] == "fault" for ev in events)
+
+
+class TestSchedulerCli:
+    GRID = [
+        "--protocols", "direct", "--lambdas", "4", "8", "--seeds", "0", "1",
+        "--rounds", "2",
+    ]
+
+    def test_scheduler_runs_whole_grid(self, tmp_path, capsys):
+        out = tmp_path / "sched.jsonl"
+        assert main(
+            ["sweep", *self.GRID, "--scheduler", "--workers", "2",
+             "--out", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "scheduled: 4 cells" in stdout
+        assert "executed 4, resumed 0, errors 0" in stdout
+        assert out.exists()
+
+    def test_scheduler_resume_skips(self, tmp_path, capsys):
+        out = tmp_path / "sched.jsonl"
+        args = ["sweep", *self.GRID, "--scheduler", "--out", str(out)]
+        assert main(args) == 0
+        before = out.read_bytes()
+        assert main(args) == 0
+        assert "executed 0, resumed 4" in capsys.readouterr().out
+        assert out.read_bytes() == before
+
+    def test_scheduler_rejects_shard_selector(self, capsys):
+        assert main(
+            ["sweep", *self.GRID, "--scheduler", "--shard", "1/2"]
+        ) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_compressed_scheduled_artifact_merges(self, tmp_path, capsys):
+        out = tmp_path / "sched.jsonl.gz"
+        assert main(
+            ["sweep", *self.GRID, "--scheduler", "--compress", "gz",
+             "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["merge", str(out), "--strict"]) == 0
+        assert "4 of 4 cells recovered" in capsys.readouterr().out
+
+    def test_explicit_zst_without_binding_exits_2(self, tmp_path, capsys):
+        from repro.telemetry.jsonl import zstd_module
+
+        if zstd_module() is not None:
+            pytest.skip("zstd binding installed")
+        rc = main(
+            ["sweep", *self.GRID, "--compress", "zst",
+             "--out", str(tmp_path / "s.jsonl.zst")]
+        )
+        assert rc == 2
+        assert "zstandard" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def _write_job(self, jobs_dir, name, **options):
+        import json
+
+        from repro.parallel.sharding import SweepSpec
+
+        spec = SweepSpec(
+            protocols=("direct",), lambdas=(4.0, 8.0), seeds=(0, 1),
+            rounds=2,
+        )
+        jobs_dir.mkdir(parents=True, exist_ok=True)
+        (jobs_dir / f"{name}.job.json").write_text(
+            json.dumps({"spec": spec.to_payload(), **options})
+        )
+
+    def test_serve_once_runs_catalog(self, tmp_path, capsys):
+        self._write_job(tmp_path, "tiny", compression="gz")
+        assert main(["serve", str(tmp_path), "--once", "--workers", "1"]) == 0
+        stdout = capsys.readouterr().out
+        assert "serve: 1 job(s)" in stdout
+        assert "executed 4" in stdout
+        artifact = tmp_path / "artifacts" / "tiny.jsonl.gz"
+        assert artifact.exists()
+        # The serve directory is a normal fleet for the other commands.
+        capsys.readouterr()
+        assert main(["merge", str(artifact), "--strict"]) == 0
+        assert main(["status", str(tmp_path)]) == 0
+
+    def test_serve_cycles_resume_idempotently(self, tmp_path, capsys):
+        self._write_job(tmp_path, "tiny")
+        assert main(
+            ["serve", str(tmp_path), "--cycles", "2", "--idle", "0",
+             "--workers", "1"]
+        ) == 0
+        # The report covers the LAST cycle: a pure resume.
+        assert "executed 0, resumed 4" in capsys.readouterr().out
+
+
+class TestStatusUnderScheduler:
+    GRID = [
+        "--protocols", "direct", "--lambdas", "4", "8", "--seeds", "0", "1",
+        "--rounds", "2",
+    ]
+
+    def test_rollup_mixes_compressed_shards_and_scheduler(
+        self, tmp_path, capsys
+    ):
+        # A fleet of two gz static shards plus one scheduled run: the
+        # rollup must count every sidecar and label the scheduler row.
+        for k in (1, 2):
+            assert main(
+                ["sweep", *self.GRID, "--serial", "--shard", f"{k}/2",
+                 "--compress", "gz",
+                 "--out", str(tmp_path / f"s{k}.jsonl.gz")]
+            ) == 0
+        assert main(
+            ["sweep", *self.GRID, "--scheduler",
+             "--out", str(tmp_path / "sched.jsonl")]
+        ) == 0
+        capsys.readouterr()
+        assert main(["status", str(tmp_path)]) == 0
+        stdout = capsys.readouterr().out
+        assert "sched" in stdout
+        assert "1/2" in stdout and "2/2" in stdout
+        assert "steals" in stdout and "reclaimed" in stdout
+        assert "fleet: 8/8 cells done, 0 failed (complete)" in stdout
