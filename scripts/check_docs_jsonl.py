@@ -22,7 +22,7 @@ from pathlib import Path
 
 from repro.parallel.scheduler import SCHED_EVENT_KIND
 from repro.parallel.status import STATUS_KIND, STATUS_SCHEMA
-from repro.simulation.trace import RoundTrace
+from repro.simulation.trace import PATH_KIND, RoundTrace
 from repro.telemetry.manifest import (
     MANIFEST_KIND,
     MANIFEST_SCHEMA,
@@ -135,6 +135,18 @@ SCHED_EVENT_KEYS = {
     "kind": str,
     "seq": int,
     "event": str,
+}
+
+#: Required keys of a per-packet path record (active routing
+#: substrates append one per walked uplink chain).
+PATH_KEYS = {
+    "kind": str,
+    "round": int,
+    "head": int,
+    "path": list,
+    "hops": int,
+    "frames": int,
+    "delivered": int,
 }
 
 SCHED_EVENTS = (
@@ -281,6 +293,31 @@ def check_sched_event(obj: dict, where: str) -> list[str]:
     return errors
 
 
+def check_path_record(obj: dict, where: str) -> list[str]:
+    """A ``kind: "path"`` line is one uplink chain walked by an active
+    routing substrate — the invariants mirror
+    :meth:`repro.simulation.trace.TraceRecorder.record_path`."""
+    errors = _check_keys(obj, PATH_KEYS, "path record", where)
+    path = obj.get("path", [])
+    if isinstance(path, list) and not all(isinstance(p, int) for p in path):
+        errors.append(f"{where}: path must be a list of node indices")
+    if isinstance(path, list) and isinstance(obj.get("hops"), int):
+        if obj["hops"] != len(path) + 1:
+            errors.append(
+                f"{where}: hops {obj['hops']} != len(path) + 1 "
+                f"({len(path) + 1})"
+            )
+    if isinstance(path, list) and obj.get("head") in path:
+        errors.append(f"{where}: head may not appear in its own path")
+    frames, delivered = obj.get("frames"), obj.get("delivered")
+    if isinstance(frames, int) and isinstance(delivered, int):
+        if not 0 <= delivered <= frames:
+            errors.append(
+                f"{where}: delivered {delivered} outside [0, frames={frames}]"
+            )
+    return errors
+
+
 def check_round_record(obj: dict, where: str) -> list[str]:
     known = {f.name for f in fields(RoundTrace)}
     unknown = set(obj) - known
@@ -334,6 +371,8 @@ def check_file(path: Path) -> list[str]:
                 errors.extend(check_status_record(obj, where))
             elif kind == SCHED_EVENT_KIND:
                 errors.extend(check_sched_event(obj, where))
+            elif kind == PATH_KIND:
+                errors.extend(check_path_record(obj, where))
             else:
                 errors.extend(check_round_record(obj, where))
     return errors

@@ -25,7 +25,7 @@ from ..baselines import (
     TLLEACHProtocol,
 )
 from ..baselines.base import ClusteringProtocol
-from ..config import paper_config
+from ..config import RoutingConfig, paper_config
 from ..core import QLECProtocol
 from ..kernels import resolve_backend_name
 from ..parallel import SweepSpec, fold_results, run_tasks
@@ -68,6 +68,7 @@ def run_cell(
     faults: str | None = None,
     equivalence: str = "bitwise",
     max_block_mb: float | None = None,
+    routing: str = "direct",
 ) -> dict:
     """One sweep cell: build the Table-2 scenario and run one protocol.
 
@@ -93,6 +94,10 @@ def run_cell(
     bounds the distance-block footprint for large-N scenarios; both
     are config fields, so both hash into the fingerprint/cell ID —
     bitwise and statistical artifacts can never silently mix.
+
+    ``routing`` selects the multi-hop substrate
+    (:data:`repro.config.ROUTING_CHOICES`); also a config field, so it
+    too hashes into the fingerprint/cell ID.
     """
     if protocol not in PROTOCOLS:
         raise KeyError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
@@ -106,6 +111,7 @@ def run_cell(
         backend=resolve_backend_name(backend),
         equivalence=equivalence,
         max_block_mb=max_block_mb,
+        routing=RoutingConfig(kind=routing),
     )
     if faults:
         from ..faults import build_fault_plan
@@ -120,6 +126,10 @@ def run_cell(
     )
     summary = result.summary()
     summary["protocol"] = protocol  # registry name, not class default
+    if "routing" in result.extras:
+        # Active substrates only — direct rows keep the pre-substrate
+        # key set, so existing artifacts merge/resume unchanged.
+        summary["routing"] = result.extras["routing"]
     if tel is not None:
         summary["telemetry"] = tel.snapshot()
     return summary
@@ -184,6 +194,7 @@ def sweep_protocols(
     faults: str | None = None,
     equivalence: str = "bitwise",
     max_block_mb: float | None = None,
+    routing: str = "direct",
 ) -> SweepResult:
     """Run the full (protocol x lambda x seed) grid in parallel.
 
@@ -208,6 +219,7 @@ def sweep_protocols(
         faults=faults,
         equivalence=equivalence,
         max_block_mb=max_block_mb,
+        routing=routing,
     )
     return sweep_from_spec(spec, max_workers=max_workers, serial=serial)
 

@@ -181,6 +181,36 @@ def render_telemetry(
     if packets:
         blocks.append(render_kv(packets, title="packets by outcome"))
 
+    routing = {
+        name.removeprefix("routing/"): m
+        for name, m in snapshot.items()
+        if name.startswith("routing/")
+    }
+    if routing:
+        hops = routing.pop("hops", None)
+        counters = {name: _metric_value(m) for name, m in sorted(routing.items())}
+        if counters:
+            blocks.append(render_kv(counters, title="routing counters"))
+        if hops is not None and hops.get("count"):
+            edges = hops.get("edges", [])
+            buckets = hops.get("buckets", [])
+            labels = []
+            prev = None
+            for e in edges:
+                lo = "<=" if prev is None else f"{_fmt(prev, 0)}<"
+                labels.append(f"{lo}{_fmt(float(e), 0)}")
+                prev = float(e)
+            labels.append(f">{_fmt(prev, 0)}" if prev is not None else ">")
+            rows = [
+                {"hops": lab, "frames": n}
+                for lab, n in zip(labels, buckets)
+                if n
+            ]
+            block = render_table(rows, title="hop-count histogram")
+            mean = hops["total"] / hops["count"]
+            block += f"\nmean hops: {mean:.3f} over {hops['count']} frames"
+            blocks.append(block)
+
     attempts = snapshot.get("channel/attempts")
     n_attempts = _metric_value(attempts) if attempts else 0
     if n_attempts:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..network.topology import pairwise_distances
+from ..routing.hierarchy import distance_levels, hierarchy_descent
 from ..simulation.state import NetworkState
 from .base import ClusteringProtocol, NearestHeadRelayMixin
 
@@ -171,39 +172,20 @@ class FCMProtocol(NearestHeadRelayMixin, ClusteringProtocol):
 
     # ------------------------------------------------------------------
     def _levels(self, state: NetworkState, heads: np.ndarray) -> np.ndarray:
-        """Equal-width distance-to-BS rings over the deployment radius."""
-        d = state.topology.d_to_bs[heads]
-        d_max = float(state.topology.d_to_bs.max())
-        if d_max <= 0.0:
-            return np.zeros(heads.size, dtype=np.intp)
-        width = d_max / self.n_levels
-        return np.minimum((d / width).astype(np.intp), self.n_levels - 1)
+        """Equal-width distance-to-BS rings (delegates to the routing
+        substrate's shared hierarchy primitive)."""
+        return distance_levels(state, heads, self.n_levels)
 
     def uplink_path(
         self, state: NetworkState, head: int, heads: np.ndarray
     ) -> list[int]:
-        """Greedy descent through the hierarchy: hop to the nearest head
-        in a strictly lower level, repeating until level 0 (whose heads
-        talk to the BS directly)."""
+        """Greedy descent through the hierarchy via the shared routing
+        primitive: hop to the nearest head in a strictly lower level,
+        repeating until level 0 (whose heads talk to the BS directly).
+        Bit-identical to the pre-substrate inline implementation."""
         heads = np.asarray(heads, dtype=np.intp)
         if heads.size <= 1:
             return []
-        levels = self._levels(state, heads)
-        head_pos = {int(h): i for i, h in enumerate(heads)}
-        path: list[int] = []
-        current = head
-        visited = {int(head)}
-        while True:
-            lvl = levels[head_pos[int(current)]]
-            if lvl == 0:
-                break
-            lower = heads[(levels < lvl)]
-            lower = np.asarray([h for h in lower if int(h) not in visited], dtype=np.intp)
-            if lower.size == 0:
-                break
-            d = state.distances_from(int(current), lower)
-            nxt = int(lower[d.argmin()])
-            path.append(nxt)
-            visited.add(nxt)
-            current = nxt
-        return path
+        return hierarchy_descent(
+            state, head, heads, self._levels(state, heads)
+        )

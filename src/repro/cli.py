@@ -76,6 +76,18 @@ def _add_backend_arg(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_routing_arg(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--routing", type=str, default="direct",
+        choices=("direct", "tree", "qspt"),
+        help="multi-hop routing substrate: 'direct' (default) keeps the "
+             "single-hop CH->BS uplink bit-identical to committed golden "
+             "traces; 'tree' builds an ETX cluster tree with mesh repair; "
+             "'qspt' learns shortest-path trees with distributed "
+             "Q-learning (see docs/routing.md)",
+    )
+
+
 def _add_faults_arg(cmd: argparse.ArgumentParser) -> None:
     # Choices deferred to runtime would hide typos until the run starts;
     # the catalog import is cheap (pure-python, no numpy work at import).
@@ -108,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--telemetry", action="store_true",
                        help="print the per-phase time/energy/drop breakdown")
     _add_backend_arg(quick)
+    _add_routing_arg(quick)
 
     fig3 = sub.add_parser("fig3", help="regenerate Fig. 3 (a)-(c)")
     fig3.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
@@ -166,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "default keeps an existing artifact's codec")
     _add_backend_arg(swp)
     _add_faults_arg(swp)
+    _add_routing_arg(swp)
 
     srv = sub.add_parser(
         "serve",
@@ -243,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "loadable in Perfetto/chrome://tracing")
     _add_backend_arg(scen)
     _add_faults_arg(scen)
+    _add_routing_arg(scen)
 
     stat = sub.add_parser(
         "status", help="render live progress of sharded sweep invocations"
@@ -272,6 +287,7 @@ def _cmd_quickstart(args) -> int:
             name, args.lam, args.seed,
             telemetry=args.telemetry, backend=args.backend,
             equivalence=args.equivalence, max_block_mb=args.max_block_mb,
+            routing=args.routing,
         )
         for name in ("qlec", "fcm", "kmeans", "deec", "leach", "direct")
     ]
@@ -421,6 +437,10 @@ def _cmd_scenario(args) -> int:
         config = config.replace(
             equivalence=args.equivalence, max_block_mb=args.max_block_mb
         )
+    if args.routing != "direct":
+        from .config import RoutingConfig
+
+        config = config.replace(routing=RoutingConfig(kind=args.routing))
     if args.faults:
         from .faults import build_fault_plan
 
@@ -462,6 +482,14 @@ def _cmd_scenario(args) -> int:
             f"(absorbed {f['absorbed']}, fatal {f['fatal']}); "
             f"deaths {deaths}; revived {f['revived']}"
         )
+    routing = result.extras.get("routing")
+    if routing is not None:
+        print()
+        print(
+            f"routing: {routing['kind']} substrate — "
+            f"repairs {routing['repairs']}, fallbacks {routing['fallbacks']}, "
+            f"discovery broadcasts {routing['broadcasts']}"
+        )
     if tel is not None:
         print()
         print(render_telemetry(tel.snapshot()))
@@ -484,6 +512,7 @@ def _cmd_sweep(args) -> int:
         faults=args.faults,
         equivalence=args.equivalence,
         max_block_mb=args.max_block_mb,
+        routing=args.routing,
     )
     suffix = (
         compression_suffix(resolve_compression(args.compress))

@@ -28,11 +28,13 @@ if typing.TYPE_CHECKING:  # imported lazily to keep config dependency-free
 
 __all__ = [
     "EQUIVALENCE_CHOICES",
+    "ROUTING_CHOICES",
     "RadioConfig",
     "QLearningConfig",
     "TrafficConfig",
     "DeploymentConfig",
     "QueueConfig",
+    "RoutingConfig",
     "SimulationConfig",
     "PaperConfig",
     "paper_config",
@@ -45,6 +47,76 @@ __all__ = [
 #: kernels, verified distributionally (``repro.kernels.gates``) instead
 #: of bitwise.
 EQUIVALENCE_CHOICES = ("bitwise", "statistical")
+
+#: Multi-hop routing substrates for the cluster-head uplink
+#: (``repro.routing``).  ``direct`` is the bit-identical default: the
+#: engine keeps today's behaviour (each protocol's own ``uplink_path``,
+#: single CH->BS hop for most) and the substrate stays inert.  ``tree``
+#: builds a cluster-tree over the CH overlay with mesh forwarding in
+#: the local neighborhood; ``qspt`` learns a shortest-path tree with
+#: distributed Q-learning.
+ROUTING_CHOICES = ("direct", "tree", "qspt")
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Multi-hop uplink routing over the cluster-head overlay.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`ROUTING_CHOICES`.  Anything but ``direct`` arms
+        the routing substrate: an energy-charged neighbor-discovery
+        phase populates per-CH neighbor tables each round and the
+        engine asks the active :class:`repro.routing.RoutingProtocol`
+        for uplink paths instead of the clustering protocol.
+    range_factor:
+        Radio reach of a CH used for neighbor discovery, as a multiple
+        of the radio's crossover distance ``d0`` (the same convention
+        as the QELAR baseline).  Two CHs are overlay neighbors when
+        their distance is within ``range_factor * d0``.
+    hello_bits:
+        Size of one HELLO/neighbor-table broadcast frame in bits.
+        Discovery is billed to the energy ledger as ordinary radio
+        tx/rx traffic, so multi-hop runs pay for their control plane.
+    mesh:
+        Tree routing only: when True a CH whose tree parent is
+        unusable may forward across any live overlay neighbor that
+        makes progress toward the BS (mesh repair) before falling back
+        to a direct BS long shot.  False gives the tree-only
+        comparator used by the chaos-partition acceptance test.
+    qspt_episodes:
+        Q-learning episodes per tree (re)build in ``qspt`` mode.
+    qspt_epsilon:
+        Exploration rate of the QSPT agent.
+    qspt_learning_rate:
+        Learning rate of the QSPT agent.
+    """
+
+    kind: str = "direct"
+    range_factor: float = 2.0
+    hello_bits: int = 256
+    mesh: bool = True
+    qspt_episodes: int = 60
+    qspt_epsilon: float = 0.2
+    qspt_learning_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ROUTING_CHOICES:
+            raise ValueError(
+                f"routing kind must be one of {ROUTING_CHOICES}, "
+                f"got {self.kind!r}"
+            )
+        if self.range_factor <= 0.0:
+            raise ValueError("range_factor must be positive")
+        if self.hello_bits < 1:
+            raise ValueError("hello_bits must be >= 1")
+        if self.qspt_episodes < 1:
+            raise ValueError("qspt_episodes must be >= 1")
+        if not 0.0 <= self.qspt_epsilon <= 1.0:
+            raise ValueError("qspt_epsilon must lie in [0, 1]")
+        if not 0.0 < self.qspt_learning_rate <= 1.0:
+            raise ValueError("qspt_learning_rate must lie in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -307,6 +379,13 @@ class SimulationConfig:
     #: (N >= 1e5) should set this to keep peak memory O(budget) instead
     #: of O(senders x actions).
     max_block_mb: float | None = None
+    #: Multi-hop routing substrate for the CH uplink
+    #: (:mod:`repro.routing`).  The default ``direct`` kind keeps the
+    #: substrate inert — the NULL-substrate pattern shared with faults
+    #: and telemetry — so golden traces stay bit-identical.  Like the
+    #: backend and equivalence tier, routing is part of run identity:
+    #: it fingerprints and hashes into sharding cell IDs.
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -335,6 +414,8 @@ class SimulationConfig:
             )
         if self.max_block_mb is not None and self.max_block_mb <= 0.0:
             raise ValueError("max_block_mb must be positive when given")
+        if not isinstance(self.routing, RoutingConfig):
+            raise ValueError("routing must be a RoutingConfig instance")
 
     def replace(self, **changes) -> "SimulationConfig":
         """Return a copy with ``changes`` applied (nested keys allowed

@@ -132,6 +132,53 @@ def _drain(cfg: "SimulationConfig") -> FaultPlan:
     )
 
 
+def _partition(cfg: "SimulationConfig") -> FaultPlan:
+    """Sever the transit corridor on one side of the network: the
+    nodes that are both near the BS (``d_bs <= median``) and on the
+    +x side degrade to 10 % link quality for a window, and any cluster
+    head among them is struck dead mid-round for three consecutive
+    rounds.  Uplink routes through that corridor break *after* the
+    round's tree was built, so multi-hop substrates must visibly
+    re-route (mesh repair) or fall back; the -x corridor stays intact
+    as the detour.
+
+    Victims are explicit (``nodes=``), chosen by reproducing the
+    deployment from the config's seed — the deployment stream is the
+    first child of the master generator, so the same nodes the run
+    will place are the ones the plan names.  No fault-RNG draw happens
+    at injection time; the plan is pure geometry.
+    """
+    import numpy as np
+
+    from ..network.deployment import deploy
+
+    rng = np.random.default_rng(cfg.seed).spawn(1)[0]
+    nodes, bs = deploy(cfg.deployment, rng)
+    d_bs = np.linalg.norm(nodes.positions - bs.position, axis=1)
+    x = nodes.positions[:, 0]
+    transit = np.flatnonzero((d_bs <= np.median(d_bs)) & (x >= np.median(x)))
+    victims = tuple(int(i) for i in transit)
+    r = cfg.rounds
+    start = max(1, r // 3)
+    slot = cfg.traffic.slots_per_round // 2
+    kills = tuple(
+        FaultEvent(kind="ch_kill", round=rnd, slot=slot, nodes=victims)
+        for rnd in range(start, min(start + 3, r))
+    )
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                kind="link_degrade",
+                round=start,
+                nodes=victims,
+                duration=max(2, r // 5),
+                factor=0.1,
+            ),
+            *kills,
+        )
+    )
+
+
 FAULT_SCENARIOS: dict[str, Callable[["SimulationConfig"], FaultPlan]] = {
     "ch-kill": _ch_kill,
     "ch-kill-mid": _ch_kill_mid,
@@ -141,6 +188,7 @@ FAULT_SCENARIOS: dict[str, Callable[["SimulationConfig"], FaultPlan]] = {
     "link-flap": _link_flap,
     "queue-squeeze": _queue_squeeze,
     "drain": _drain,
+    "partition": _partition,
 }
 
 

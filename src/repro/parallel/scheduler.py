@@ -786,6 +786,7 @@ def run_scheduled(
             spec.faults,
             cell.equivalence,
             spec.max_block_mb,
+            spec.routing,
         )
 
     fh = JsonlWriter(out_path, compression=codec, append=True)

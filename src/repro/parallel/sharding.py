@@ -141,6 +141,12 @@ class SweepSpec:
     #: identity: it shapes peak memory, which is provenance worth
     #: pinning for a resumed large-N sweep.
     max_block_mb: float | None = None
+    #: Routing substrate every cell runs under
+    #: (:data:`repro.config.ROUTING_CHOICES`).  A config field
+    #: (``SimulationConfig.routing``), so it flows into the config
+    #: fingerprint and hence the cell ID — direct, tree, and qspt
+    #: artifacts never resume into or merge with each other.
+    routing: str = "direct"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocols", tuple(self.protocols))
@@ -161,6 +167,13 @@ class SweepSpec:
             )
         if self.max_block_mb is not None and self.max_block_mb <= 0.0:
             raise ValueError("max_block_mb must be positive when given")
+        from ..config import ROUTING_CHOICES
+
+        if self.routing not in ROUTING_CHOICES:
+            raise ValueError(
+                f"routing must be one of {ROUTING_CHOICES}, "
+                f"got {self.routing!r}"
+            )
 
     # -- serialisation -------------------------------------------------
     def to_payload(self) -> dict:
@@ -197,6 +210,7 @@ class SweepSpec:
                 self.faults,
                 self.equivalence,
                 self.max_block_mb,
+                self.routing,
             )
             for p in self.protocols
             for lam in self.lambdas
@@ -222,7 +236,7 @@ class SweepSpec:
         """
         import dataclasses as _dc
 
-        from ..config import paper_config
+        from ..config import RoutingConfig, paper_config
         from ..telemetry.manifest import config_fingerprint
 
         backend = self.resolved_backend()
@@ -240,6 +254,7 @@ class SweepSpec:
                         backend=backend,
                         equivalence=self.equivalence,
                         max_block_mb=self.max_block_mb,
+                        routing=RoutingConfig(kind=self.routing),
                     )
                     if self.faults:
                         # Mirror run_cell exactly: the materialised plan
@@ -367,6 +382,7 @@ def _default_cell_fn(
     faults: str | None = None,
     equivalence: str = "bitwise",
     max_block_mb: float | None = None,
+    routing: str = "direct",
 ):
     # Deferred import keeps repro.parallel free of an import cycle with
     # repro.analysis (which imports this package at module scope).
@@ -384,6 +400,7 @@ def _default_cell_fn(
         faults=faults,
         equivalence=equivalence,
         max_block_mb=max_block_mb,
+        routing=routing,
     )
 
 
@@ -699,6 +716,7 @@ def run_shard(
                 # Likewise the cell's pinned tier and block budget.
                 c.equivalence,
                 spec.max_block_mb,
+                spec.routing,
             ),
             retries,
         )

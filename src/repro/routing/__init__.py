@@ -1,0 +1,42 @@
+"""Multi-hop routing substrate for the cluster-head uplink.
+
+The engine always holds one :class:`RoutingProtocol`.  The default
+(:data:`DIRECT_ROUTER`, selected by ``routing=direct``) is inert and
+bit-identical to the pre-substrate engine; the active substrates —
+:class:`ClusterTreeRouting` (deterministic ETX cluster tree with mesh
+repair) and :class:`QSPTRouting` (per-round Q-learned shortest-path
+tree) — run an energy-charged neighbor-discovery phase and answer the
+uplink-path queries over the CH overlay, with per-packet path tracing
+and ``routing/*`` telemetry.
+
+See ``docs/routing.md`` for the architecture and the path-record JSONL
+schema.
+"""
+
+from .base import (
+    DIRECT_ROUTER,
+    DirectRouting,
+    RoutingProtocol,
+    TreeRouting,
+    build_router,
+)
+from .hierarchy import distance_levels, hierarchy_descent
+from .neighbors import NeighborTable, discover
+from .qspt import QSPTRouting, build_overlay_mdp, learn_spt
+from .tree import ClusterTreeRouting
+
+__all__ = [
+    "RoutingProtocol",
+    "DirectRouting",
+    "DIRECT_ROUTER",
+    "TreeRouting",
+    "ClusterTreeRouting",
+    "QSPTRouting",
+    "NeighborTable",
+    "discover",
+    "build_router",
+    "build_overlay_mdp",
+    "learn_spt",
+    "distance_levels",
+    "hierarchy_descent",
+]

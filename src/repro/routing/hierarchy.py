@@ -1,0 +1,65 @@
+"""Level-based inter-CH relaying (the FCM baseline's multi-hop).
+
+Before the routing substrate existed this logic lived ad hoc inside
+:class:`~repro.baselines.fcm.FCMProtocol`; it is now the shared
+hierarchy primitive so any protocol (or substrate) can reuse it.  The
+FCM baseline delegates here verbatim — the migration is bit-identical
+by construction and locked in by the golden traces.
+
+The scheme divides the deployment into equal-width distance-to-BS
+rings; a head at level L uplinks through the nearest head at a
+strictly lower level, repeating until a level-0 head transmits to the
+BS directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulation.state import NetworkState
+
+__all__ = ["distance_levels", "hierarchy_descent"]
+
+
+def distance_levels(
+    state: NetworkState, heads: np.ndarray, n_levels: int
+) -> np.ndarray:
+    """Equal-width distance-to-BS rings over the deployment radius."""
+    d = state.topology.d_to_bs[heads]
+    d_max = float(state.topology.d_to_bs.max())
+    if d_max <= 0.0:
+        return np.zeros(heads.size, dtype=np.intp)
+    width = d_max / n_levels
+    return np.minimum((d / width).astype(np.intp), n_levels - 1)
+
+
+def hierarchy_descent(
+    state: NetworkState, head: int, heads: np.ndarray, levels: np.ndarray
+) -> list[int]:
+    """Greedy descent through the hierarchy: hop to the nearest head in
+    a strictly lower level, repeating until level 0 (whose heads talk
+    to the BS directly).  Returns the intermediate heads, nearest-to-BS
+    last."""
+    heads = np.asarray(heads, dtype=np.intp)
+    if heads.size <= 1:
+        return []
+    head_pos = {int(h): i for i, h in enumerate(heads)}
+    path: list[int] = []
+    current = head
+    visited = {int(head)}
+    while True:
+        lvl = levels[head_pos[int(current)]]
+        if lvl == 0:
+            break
+        lower = heads[(levels < lvl)]
+        lower = np.asarray(
+            [h for h in lower if int(h) not in visited], dtype=np.intp
+        )
+        if lower.size == 0:
+            break
+        d = state.distances_from(int(current), lower)
+        nxt = int(lower[d.argmin()])
+        path.append(nxt)
+        visited.add(nxt)
+        current = nxt
+    return path

@@ -1,0 +1,168 @@
+"""Distributed Q-learning shortest-path trees over the CH overlay.
+
+The learned multi-hop baseline: each round, the discovered overlay is
+cast as a small finite MDP — states are the live cluster heads plus an
+absorbing base-station state, actions forward to an overlay neighbor
+(or the BS when it is in radio range), every hop costs -1 — and a
+tabular :class:`~repro.rl.agent.QLearningAgent` is trained on it with
+the dedicated ``routing_rng`` stream.  The greedy policy of the
+converged Q table is a shortest-path tree: with unit hop costs and
+discounting, action values are monotone in hop count, so argmax picks
+the minimum-hop parent.  The acceptance test checks exactly that
+equivalence against :func:`~repro.rl.mdp.value_iteration` on a seeded
+grid overlay.
+
+Everything but the MDP construction (mesh repair, fallback counting,
+the walk) is inherited from :class:`~repro.routing.base.TreeRouting`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rl.agent import EpsilonSchedule, QLearningAgent, train_on_mdp
+from ..rl.mdp import FiniteMDP
+from ..simulation.state import NetworkState
+from .base import TreeRouting
+
+__all__ = ["QSPTRouting", "build_overlay_mdp", "learn_spt"]
+
+#: Discount keeping values bounded even for heads the overlay cannot
+#: connect to the BS (their best option is the penalized self-loop).
+GAMMA = 0.95
+#: Per-hop cost (negated reward) — unit costs make the optimal policy
+#: the minimum-hop shortest-path tree.
+HOP_REWARD = -1.0
+#: Reward of an invalid/self-loop action, strictly worse in discounted
+#: return than any path through the overlay.
+INVALID_REWARD = -2.0
+
+
+def build_overlay_mdp(
+    neighbors: dict[int, np.ndarray],
+    bs_reachable: dict[int, bool],
+) -> tuple[FiniteMDP, list[list[int]], list[int]]:
+    """Cast a CH overlay as a finite MDP.
+
+    Parameters
+    ----------
+    neighbors:
+        ``head -> array of overlay-neighbor heads`` (symmetric).
+    bs_reachable:
+        ``head -> True`` when the head can reach the BS directly.
+
+    Returns
+    -------
+    (mdp, candidates, heads):
+        ``heads`` lists the overlay nodes ascending; state ``i`` is
+        ``heads[i]`` and state ``len(heads)`` is the absorbing BS.
+        ``candidates[i]`` lists each state's forwarding targets as
+        state indices (neighbors ascending, then the BS) — action ``a``
+        forwards to ``candidates[i][a]``; actions past the candidate
+        list are penalized self-loops.
+    """
+    heads = sorted(int(h) for h in neighbors)
+    index = {h: i for i, h in enumerate(heads)}
+    n_heads = len(heads)
+    bs_state = n_heads
+    n_states = n_heads + 1
+    candidates: list[list[int]] = []
+    for h in heads:
+        cand = [index[int(n)] for n in neighbors[h] if int(n) in index]
+        if bs_reachable.get(h, False):
+            cand.append(bs_state)
+        candidates.append(cand)
+    n_actions = max(1, max((len(c) for c in candidates), default=1))
+
+    transitions = np.zeros((n_actions, n_states, n_states))
+    rewards = np.zeros((n_actions, n_states, n_states))
+    for s, cand in enumerate(candidates):
+        for a in range(n_actions):
+            if a < len(cand):
+                transitions[a, s, cand[a]] = 1.0
+                rewards[a, s, cand[a]] = HOP_REWARD
+            else:
+                transitions[a, s, s] = 1.0
+                rewards[a, s, s] = INVALID_REWARD
+    transitions[:, bs_state, bs_state] = 1.0  # absorbing sink
+    terminal = np.zeros(n_states, dtype=bool)
+    terminal[bs_state] = True
+    mdp = FiniteMDP(transitions, rewards, gamma=GAMMA, terminal=terminal)
+    return mdp, candidates, heads
+
+
+def learn_spt(
+    mdp: FiniteMDP,
+    candidates: list[list[int]],
+    rng: np.random.Generator,
+    episodes: int,
+    epsilon: float,
+    learning_rate: float,
+) -> np.ndarray:
+    """Train a Q-learning agent on the overlay MDP and extract the
+    greedy parent per state.
+
+    Returns ``parent_state`` with one entry per non-terminal state: the
+    greedy successor state index, or ``-1`` when the learned greedy
+    action is an invalid self-loop (disconnected head).
+    """
+    agent = QLearningAgent(
+        mdp.n_states,
+        mdp.n_actions,
+        gamma=mdp.gamma,
+        learning_rate=learning_rate,
+        epsilon=EpsilonSchedule(start=epsilon, end=epsilon, decay_steps=1),
+        rng=rng,
+    )
+    train_on_mdp(agent, mdp, episodes=episodes)
+    parent = np.full(len(candidates), -1, dtype=np.int64)
+    for s, cand in enumerate(candidates):
+        if not cand:
+            continue
+        a = int(agent.q.values[s, : mdp.n_actions].argmax())
+        if a < len(cand):
+            parent[s] = cand[a]
+    return parent
+
+
+class QSPTRouting(TreeRouting):
+    """Per-round Q-learned shortest-path tree with mesh repair."""
+
+    name = "qspt"
+
+    def _build(self, state: NetworkState) -> None:
+        assert self.table is not None
+        table = self.table
+        mdp, candidates, heads = build_overlay_mdp(
+            table.neighbors, table.bs_reachable
+        )
+        parent_state = learn_spt(
+            mdp,
+            candidates,
+            rng=state.routing_rng,
+            episodes=self.config.qspt_episodes,
+            epsilon=self.config.qspt_epsilon,
+            learning_rate=self.config.qspt_learning_rate,
+        )
+        bs_state = len(heads)
+        # Keep only heads whose learned pointer chain actually reaches
+        # the BS (an unconverged cycle or a disconnected component must
+        # not become a forwarding loop); depth along the chain is the
+        # monotone progress potential the mesh repair checks.
+        for s in range(len(heads)):
+            chain = []
+            cur = s
+            seen: set[int] = set()
+            while cur != bs_state and cur not in seen and cur >= 0:
+                seen.add(cur)
+                chain.append(cur)
+                cur = int(parent_state[cur])
+            if cur != bs_state:
+                continue
+            for depth, node in enumerate(reversed(chain), start=1):
+                head = heads[node]
+                nxt = int(parent_state[node])
+                self._parent[head] = (
+                    state.bs_index if nxt == bs_state else heads[nxt]
+                )
+                self._cost[head] = float(depth)

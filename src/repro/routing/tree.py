@@ -1,0 +1,71 @@
+"""Cluster-tree/mesh routing over the cluster-head overlay.
+
+Tree formation follows the data-collection-tree idiom: the base
+station is the root, heads inside radio range of it can terminate
+routes locally, and every other head picks the parent minimizing its
+expected transmission count (ETX) to the BS — a deterministic Dijkstra
+over the discovered overlay with the shared link estimator supplying
+edge quality.  Degraded regions (fault ``link_degrade`` windows) push
+ACK ratios down, which raises ETX and steers the next round's tree
+around the partition; mid-round breakage is handled by the mesh-repair
+walk in :class:`~repro.routing.base.TreeRouting`.
+
+With ``mesh=False`` the repair stage is disabled — a broken parent
+immediately falls back to a direct-BS long shot — which is the
+tree-only comparator the chaos-partition acceptance test measures
+against.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..simulation.state import NetworkState
+from .base import TreeRouting
+
+__all__ = ["ClusterTreeRouting"]
+
+#: ETX denominator floor: a link whose estimate collapsed entirely
+#: still gets a finite (huge) cost so Dijkstra ranks it last instead
+#: of dividing by zero.
+_MIN_ESTIMATE = 1e-3
+
+
+class ClusterTreeRouting(TreeRouting):
+    """Deterministic ETX shortest-path tree with mesh repair."""
+
+    name = "tree"
+
+    def _etx(self, state: NetworkState, src: int, dst: int) -> float:
+        """Expected transmissions on the (src, dst) link under the
+        current ACK-ratio estimate."""
+        return 1.0 / max(state.link_estimator.get(src, dst), _MIN_ESTIMATE)
+
+    def _build(self, state: NetworkState) -> None:
+        assert self.table is not None
+        table = self.table
+        bs = state.bs_index
+        # Dijkstra from the BS outward.  Heap entries are
+        # (cost, head index): float ties resolve by ascending head
+        # index, so the tree is identical run to run.
+        dist: dict[int, float] = {}
+        heap: list[tuple[float, int]] = []
+        for h in table.heads:
+            h = int(h)
+            if table.bs_reachable[h]:
+                cost = self._etx(state, h, bs)
+                dist[h] = cost
+                self._parent[h] = bs
+                heapq.heappush(heap, (cost, h))
+        while heap:
+            cost, u = heapq.heappop(heap)
+            if cost > dist.get(u, float("inf")):
+                continue  # stale entry
+            self._cost[u] = cost
+            for v in table.neighbors.get(u, ()):
+                v = int(v)
+                alt = cost + self._etx(state, v, u)
+                if alt < dist.get(v, float("inf")):
+                    dist[v] = alt
+                    self._parent[v] = u
+                    heapq.heappush(heap, (alt, v))

@@ -61,6 +61,7 @@ from ..network.node import BaseStation, NodeArray
 from ..network.packet import PacketArena, PacketStats, PacketStatus
 from ..network.queueing import QueueBank, SourceBuffers
 from ..network.queueing import utilization as _utilization
+from ..routing import build_router
 from ..telemetry import NULL, NULL_TRACER, SpanTracer, Telemetry, run_manifest
 from ..telemetry.trace import rss_mb
 from .metrics import RoundStats, SimulationResult
@@ -77,6 +78,10 @@ _FusedBatch = tuple[np.ndarray, np.ndarray, int]
 #: Telemetry bucket edges for the per-round queue-peak histogram
 #: (upper bounds; Table 2's default CH capacity is 16).
 _QUEUE_PEAK_EDGES = (0, 1, 2, 4, 8, 16, 32, 64)
+
+#: Telemetry bucket edges for the uplink hop-count histogram (active
+#: routing substrates only; the config's TTL default is 12).
+_HOP_COUNT_EDGES = (1, 2, 3, 4, 6, 8, 12)
 
 
 class SimulationEngine:
@@ -232,6 +237,15 @@ class SimulationEngine:
             self.harvester = build_harvester(
                 config.harvesting, self.state.harvest_rng
             )
+        # Routing substrate: the inert DIRECT singleton unless the
+        # config selects an active kind.  Every engine hook is guarded
+        # by ``self.router.active`` — same NULL-substrate pattern as
+        # faults/telemetry — so the default path never bills discovery,
+        # never touches the routing RNG stream, and stays bit-identical
+        # to the golden traces.
+        self.router = build_router(config.routing)
+        if self.router.active:
+            self.router.prepare(self.state)
         protocol.prepare(self.state)
         #: Self-describing header shared by the trace dump and the
         #: telemetry snapshot (built lazily only when someone records).
@@ -247,6 +261,7 @@ class SimulationEngine:
         if self.telemetry.enabled:
             self.state.channel.bind_telemetry(self.telemetry)
             self._tel_energy_mark = self.state.ledger.category_breakdown()
+            self._tel_routing_mark = self.router.counters()
 
     # ------------------------------------------------------------------
     # slot phases
@@ -547,11 +562,16 @@ class SimulationEngine:
         # (channel draws stay in head order, frame order).
         from ..baselines.base import ClusteringProtocol
 
+        # An active routing substrate owns the uplink paths (and wants
+        # per-hop feedback plus path traces), so it always takes the
+        # chain walk; the vectorized fast path below is reserved for
+        # the substrate-less all-direct case.
+        router = self.router
         paths: dict[int, list[int]] = {}
         direct_only = (
             type(self.protocol).on_transmission
             is ClusteringProtocol.on_transmission
-        )
+        ) and not router.active
         if direct_only:
             for j, h in enumerate(bank.heads):
                 if n_fused[j] == 0 or not st.ledger.is_alive(int(h)):
@@ -595,7 +615,10 @@ class SimulationEngine:
             ]
             path = paths.get(h)
             if path is None:
-                path = self.protocol.uplink_path(st, h, heads)
+                if router.active:
+                    path = router.uplink_path(st, h, heads)
+                else:
+                    path = self.protocol.uplink_path(st, h, heads)
             chain = [h, *[int(p) for p in path], st.bs_index]
             surviving = frames
             for hop_idx in range(len(chain) - 1):
@@ -628,9 +651,13 @@ class SimulationEngine:
                             arena.free(frame_rows)
                             st.link_estimator.update(src, dst, ok)
                             self.protocol.on_transmission(st, src, dst, ok)
+                            if router.active:
+                                router.on_hop(st, src, dst, ok)
                             continue
                     st.link_estimator.update(src, dst, ok)
                     self.protocol.on_transmission(st, src, dst, ok)
+                    if router.active:
+                        router.on_hop(st, src, dst, ok)
                     if not ok:
                         if dst_alive:
                             stats.dropped_channel += frame_rows.size
@@ -654,6 +681,27 @@ class SimulationEngine:
                     arena.hops[frame_rows] + hop_count,
                 )
                 arena.free(frame_rows)
+            if router.active:
+                # Per-packet path observability: one record per walked
+                # head on the trace, one histogram sample per delivered
+                # frame in telemetry.  Pure reads — no RNG, and inert
+                # routers never reach this branch.
+                n_delivered = len(surviving)
+                if self.trace is not None:
+                    self.trace.record_path(
+                        st.round_index,
+                        h,
+                        [int(p) for p in path],
+                        hop_count,
+                        n_frames,
+                        n_delivered,
+                    )
+                if self.telemetry.enabled and n_delivered:
+                    self.telemetry.registry.histogram(
+                        "routing/hops", _HOP_COUNT_EDGES
+                    ).observe_many(
+                        np.full(n_delivered, hop_count, dtype=np.float64)
+                    )
 
     def _uplink_direct(
         self,
@@ -790,6 +838,12 @@ class SimulationEngine:
         bank = QueueBank(heads, capacity, st.n)
         fused: list[_FusedBatch] = []
         stats = PacketStats()
+        if self.router.active:
+            # Topology phase: energy-charged neighbor discovery/sharing
+            # over the CH overlay, then route construction (tree or
+            # Q-learned SPT).  Deterministic except for qspt's draws on
+            # the dedicated routing RNG stream.
+            self.router.begin_round(st, heads)
         tel.lap("ch_select")
         trc.lap("ch_select")
 
@@ -876,6 +930,13 @@ class SimulationEngine:
         self._tel_energy_mark = mark
         reg.gauge("heads/count").observe(rs.n_heads)
         reg.counter("rl/v_updates").add(rs.v_updates)
+        if self.router.active:
+            counts = self.router.counters()
+            for key, total in counts.items():
+                reg.counter(f"routing/{key}").add(
+                    total - self._tel_routing_mark.get(key, 0)
+                )
+            self._tel_routing_mark = counts
         if peaks.size:
             reg.histogram("queue/peak", _QUEUE_PEAK_EDGES).observe_many(peaks)
             reg.gauge("queue/utilization").observe_many(
@@ -943,6 +1004,8 @@ class SimulationEngine:
             result.faults = self.faults.summary(self.state.ledger)
             if self.telemetry.enabled:
                 self._record_fault_telemetry(result.faults)
+        if self.router.active:
+            result.extras["routing"] = self.router.summary()
         if self.telemetry.enabled:
             result.extras["telemetry"] = {
                 "manifest": self.manifest,

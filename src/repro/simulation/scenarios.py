@@ -128,6 +128,7 @@ SCENARIOS: dict[str, Callable[[int], Scenario]] = {
     "chaos-blackout": _chaos("blackout"),
     "chaos-churn": _chaos("churn"),
     "chaos-brownout": _chaos("brownout"),
+    "chaos-partition": _chaos("partition"),
 }
 
 

@@ -64,14 +64,16 @@ class NetworkState:
         master = rng if rng is not None else np.random.default_rng(config.seed)
         # Independent child streams: deployment, traffic, channel,
         # protocol, engine-internal tie-breaking, mobility, harvesting,
-        # and fault injection.  spawn(8) yields the same first seven
-        # children as spawn(7) did (spawn keys are sequential), so
-        # adding the fault stream left every pre-fault golden trace
+        # fault injection, and multi-hop routing.  spawn(9) yields the
+        # same first eight children as spawn(8) did (spawn keys are
+        # sequential), so adding the routing stream — like the fault
+        # stream before it — left every existing golden trace
         # bit-identical.
-        seeds = master.spawn(8)
+        seeds = master.spawn(9)
         (self._deploy_rng, self.traffic_rng, channel_rng,
          self.protocol_rng, self.engine_rng,
-         self.mobility_rng, self.harvest_rng, self.fault_rng) = seeds
+         self.mobility_rng, self.harvest_rng, self.fault_rng,
+         self.routing_rng) = seeds
 
         if nodes is None or bs is None:
             nodes, bs = deploy(config.deployment, self._deploy_rng)

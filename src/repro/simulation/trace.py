@@ -25,7 +25,11 @@ import numpy as np
 from ..telemetry.manifest import MANIFEST_KIND
 from .metrics import RoundStats
 
-__all__ = ["RoundTrace", "TraceRecorder"]
+__all__ = ["PATH_KIND", "RoundTrace", "TraceRecorder"]
+
+#: ``kind`` tag of per-packet path records (active routing substrates
+#: append one per walked uplink; see docs/routing.md for the schema).
+PATH_KIND = "path"
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,35 @@ class TraceRecorder:
 
     records: list[RoundTrace] = field(default_factory=list)
     manifest: dict | None = None
+    #: Per-packet path records (``kind: "path"``), appended by the
+    #: engine when an active routing substrate walks an uplink chain.
+    #: Empty under ``routing=direct`` — dumps are byte-identical to
+    #: pre-substrate ones.
+    paths: list[dict] = field(default_factory=list)
+
+    def record_path(
+        self,
+        round_index: int,
+        head: int,
+        path: list[int],
+        hops: int,
+        frames: int,
+        delivered: int,
+    ) -> None:
+        """One uplink's hop list: the relay chain ``head -> ... -> BS``
+        (intermediate heads only), how many fused frames entered it,
+        and how many reached the BS."""
+        self.paths.append(
+            {
+                "kind": PATH_KIND,
+                "round": int(round_index),
+                "head": int(head),
+                "path": [int(p) for p in path],
+                "hops": int(hops),
+                "frames": int(frames),
+                "delivered": int(delivered),
+            }
+        )
 
     def record(self, stats: RoundStats, heads: np.ndarray, residual: np.ndarray) -> None:
         p = stats.packets
@@ -103,12 +136,14 @@ class TraceRecorder:
         """One JSON object per line, ready for jq/pandas.
 
         The manifest header (when present) is the first line; round
-        records follow in round order.
+        records follow in round order, then any per-packet path records
+        (active routing substrates only) in emission order.
         """
         lines = []
         if self.manifest is not None:
             lines.append(json.dumps(self.manifest, sort_keys=True))
         lines.extend(json.dumps(rec.as_dict()) for rec in self.records)
+        lines.extend(json.dumps(rec, sort_keys=True) for rec in self.paths)
         return "\n".join(lines)
 
     def write_jsonl(self, path) -> None:
@@ -136,6 +171,9 @@ class TraceRecorder:
                         "manifest line must be first and appear at most once"
                     )
                 recorder.manifest = obj
+                continue
+            if obj.get("kind") == PATH_KIND:
+                recorder.paths.append(obj)
                 continue
             row = {k: v for k, v in obj.items() if k in known}
             row["heads"] = tuple(row.get("heads", ()))

@@ -1,0 +1,153 @@
+"""The ``choose_relays`` batched contract at its edges: the batched
+method must agree with a sender-by-sender scalar walk even when the
+sender set contains heads, when every head is dead, and when the
+overlay collapses to one head — and the default implementation must
+behave on empty input.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PROTOCOLS
+from repro.baselines.base import ClusteringProtocol, NearestHeadRelayMixin
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+# Protocols whose relay choice draws RNG or mutates learning state get
+# fresh twin states for the scalar/batched comparison.
+CONTRACT_PROTOCOLS = sorted(PROTOCOLS)
+
+
+class _ScriptedProtocol(ClusteringProtocol):
+    """Minimal concrete protocol exercising the base-class default."""
+
+    name = "scripted"
+
+    def select_cluster_heads(self, state):  # pragma: no cover - unused
+        return np.empty(0, dtype=np.intp)
+
+    def choose_relay(self, state, node, heads, queue_lengths):
+        # Deterministic, node-dependent: round-robin over heads.
+        return int(heads[node % heads.size])
+
+
+class _NearestProtocol(NearestHeadRelayMixin, _ScriptedProtocol):
+    name = "nearest"
+
+    def choose_relay(self, state, node, heads, queue_lengths):
+        d = state.distances_from(node, heads)
+        return int(heads[int(d.argmin())])
+
+
+def fresh(seed=0):
+    return NetworkState(make_config(seed=seed))
+
+
+def elected(state, proto):
+    proto.prepare(state)
+    return proto.select_cluster_heads(state)
+
+
+class TestDefaultImplementation:
+    def test_empty_senders_yield_empty_intp(self):
+        state = fresh()
+        proto = _ScriptedProtocol()
+        heads = np.asarray([1, 2], dtype=np.intp)
+        out = proto.choose_relays(
+            state, np.empty(0, dtype=np.intp), heads, np.zeros(2)
+        )
+        assert out.size == 0
+        assert out.dtype == np.intp
+
+    def test_matches_scalar_walk_in_order(self):
+        state = fresh()
+        proto = _ScriptedProtocol()
+        heads = np.asarray([3, 7, 11], dtype=np.intp)
+        senders = np.asarray([0, 5, 9, 14], dtype=np.intp)
+        q = np.zeros(heads.size)
+        want = [proto.choose_relay(state, int(s), heads, q) for s in senders]
+        assert proto.choose_relays(state, senders, heads, q).tolist() == want
+
+
+class TestMixinEdges:
+    def test_sender_that_is_a_head_picks_itself(self):
+        """Distance zero beats every other head, matching the scalar
+        rule — the engine excludes heads from the member set, but the
+        contract must not blow up if one slips through."""
+        state = fresh(seed=1)
+        proto = _NearestProtocol()
+        heads = np.asarray([4, 8], dtype=np.intp)
+        senders = np.asarray([4, 8], dtype=np.intp)
+        out = proto.choose_relays(state, senders, heads, np.zeros(2))
+        assert out.tolist() == [4, 8]
+
+    def test_single_head_overlay(self):
+        state = fresh(seed=2)
+        proto = _NearestProtocol()
+        heads = np.asarray([6], dtype=np.intp)
+        senders = np.asarray([0, 1, 2], dtype=np.intp)
+        out = proto.choose_relays(state, senders, heads, np.zeros(1))
+        assert (out == 6).all()
+
+    def test_tie_resolution_matches_scalar(self):
+        """The mixin's block argmin and the scalar distances_from argmin
+        share the sqrt pipeline, so equidistant heads resolve alike."""
+        state = fresh(seed=3)
+        proto = _NearestProtocol()
+        heads = np.asarray(
+            sorted(int(i) for i in range(4)), dtype=np.intp
+        )
+        senders = np.arange(state.n, dtype=np.intp)
+        q = np.zeros(heads.size)
+        want = [proto.choose_relay(state, int(s), heads, q) for s in senders]
+        assert proto.choose_relays(state, senders, heads, q).tolist() == want
+
+
+@pytest.mark.parametrize("name", CONTRACT_PROTOCOLS)
+class TestRealProtocolEdges:
+    def batched_vs_scalar(self, name, mutate=None):
+        """Twin runs from identical seeds: one answers batched, one
+        walks the scalar method — results must agree elementwise."""
+        outs = []
+        for mode in ("batched", "scalar"):
+            state = fresh(seed=5)
+            proto = PROTOCOLS[name]()
+            heads = elected(state, proto)
+            if heads.size == 0:
+                pytest.skip(f"{name} elected no heads on this cube")
+            if mutate is not None:
+                mutate(state, heads)
+            senders = np.setdiff1d(
+                np.flatnonzero(state.ledger.alive), heads
+            )[:8]
+            q = np.zeros(heads.size)
+            if mode == "batched":
+                outs.append(proto.choose_relays(state, senders, heads, q))
+            else:
+                outs.append(
+                    np.asarray(
+                        [
+                            proto.choose_relay(state, int(s), heads, q)
+                            for s in senders
+                        ],
+                        dtype=np.intp,
+                    )
+                )
+            targets = outs[-1]
+            valid = np.isin(targets, heads) | (targets == state.bs_index)
+            assert valid.all(), f"{name} returned a non-head, non-BS relay"
+        assert np.array_equal(outs[0], outs[1]), name
+
+    def test_batched_matches_scalar(self, name):
+        self.batched_vs_scalar(name)
+
+    def test_all_heads_dead(self, name):
+        """The overlay dies after election (e.g. a mid-round kill wave):
+        the relay answer may point at a dead head — the channel charges
+        the attempt and drops the frame — but batched and scalar must
+        still agree and stay inside heads + BS."""
+
+        def kill_overlay(state, heads):
+            state.ledger.force_kill([int(h) for h in heads])
+
+        self.batched_vs_scalar(name, mutate=kill_overlay)

@@ -35,6 +35,7 @@ def _write_job(jobs_dir, name, *, spec=SPEC, **options):
 def _failing_cell(
     protocol, lam, seed, initial_energy, rounds, stop, telemetry,
     backend="auto", faults=None, equivalence="bitwise", max_block_mb=None,
+    routing="direct",
 ):
     if seed == 1 and lam == 4.0:
         raise ValueError("injected serve-test failure")
@@ -43,6 +44,7 @@ def _failing_cell(
         initial_energy=initial_energy, rounds=rounds,
         stop_on_death=stop, telemetry=telemetry, backend=backend,
         faults=faults, equivalence=equivalence, max_block_mb=max_block_mb,
+        routing=routing,
     )
 
 

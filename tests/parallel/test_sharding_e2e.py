@@ -223,6 +223,7 @@ def _reset_fault():
 def faulty_cell(
     protocol, lam, seed, initial_energy, rounds, stop, telemetry,
     backend="auto", faults=None, equivalence="bitwise", max_block_mb=None,
+    routing="direct",
 ):
     key = (protocol, lam, seed)
     _FAULT["calls"][key] = _FAULT["calls"].get(key, 0) + 1
@@ -235,6 +236,7 @@ def faulty_cell(
         initial_energy=initial_energy, rounds=rounds,
         stop_on_death=stop, telemetry=telemetry, backend=backend,
         faults=faults, equivalence=equivalence, max_block_mb=max_block_mb,
+        routing=routing,
     )
 
 
@@ -327,6 +329,7 @@ class TestFailurePaths:
 def _deterministic_faulty_cell(
     protocol, lam, seed, initial_energy, rounds, stop, telemetry,
     backend="auto", faults=None, equivalence="bitwise", max_block_mb=None,
+    routing="direct",
 ):
     """Fails like a code bug, not like a flaky environment."""
     key = (protocol, lam, seed)
@@ -338,6 +341,7 @@ def _deterministic_faulty_cell(
         initial_energy=initial_energy, rounds=rounds,
         stop_on_death=stop, telemetry=telemetry, backend=backend,
         faults=faults, equivalence=equivalence, max_block_mb=max_block_mb,
+        routing=routing,
     )
 
 

@@ -1,0 +1,156 @@
+"""QSPT acceptance: the Q-learned greedy policy converges to the true
+shortest-path tree on a seeded grid overlay, validated against the
+exact value-iteration solver (and plain BFS hop counts)."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.config import RoutingConfig
+from repro.core import QLECProtocol
+from repro.routing import build_overlay_mdp, build_router, learn_spt
+from repro.rl.mdp import value_iteration
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+def grid_overlay(rows: int, cols: int):
+    """A rows x cols 4-connected grid of head ids 0..rows*cols-1; only
+    the corner head 0 reaches the BS directly."""
+    neighbors = {}
+    for r in range(rows):
+        for c in range(cols):
+            h = r * cols + c
+            nbrs = []
+            if r > 0:
+                nbrs.append(h - cols)
+            if r < rows - 1:
+                nbrs.append(h + cols)
+            if c > 0:
+                nbrs.append(h - 1)
+            if c < cols - 1:
+                nbrs.append(h + 1)
+            neighbors[h] = np.asarray(sorted(nbrs), dtype=np.intp)
+    bs_reachable = {h: h == 0 for h in neighbors}
+    return neighbors, bs_reachable
+
+
+def bfs_hops(neighbors, sources):
+    """Hop count to the BS for every head (sources are 1 hop away)."""
+    dist = {s: 1 for s in sources}
+    queue = collections.deque(sources)
+    while queue:
+        u = queue.popleft()
+        for v in neighbors[u]:
+            v = int(v)
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+class TestGridConvergence:
+    def test_learned_tree_is_shortest_path(self):
+        """The acceptance criterion: on a seeded 4x4 grid where only
+        corner 0 reaches the BS, the learned parent pointers yield
+        exactly the BFS hop count for every head."""
+        neighbors, bs_reachable = grid_overlay(4, 4)
+        mdp, candidates, heads = build_overlay_mdp(neighbors, bs_reachable)
+        rng = np.random.default_rng(42)
+        parent = learn_spt(
+            mdp, candidates, rng, episodes=600, epsilon=0.2,
+            learning_rate=0.5,
+        )
+        bs_state = len(heads)
+        optimal = bfs_hops(neighbors, [0])
+        for s, h in enumerate(heads):
+            hops = 0
+            cur = s
+            while cur != bs_state:
+                cur = int(parent[cur])
+                assert cur >= 0, f"head {h} learned no route"
+                hops += 1
+                assert hops <= len(heads)
+            assert hops == optimal[h], (
+                f"head {h}: learned {hops} hops, optimal {optimal[h]}"
+            )
+
+    def test_learned_values_match_value_iteration(self):
+        """Greedy returns of the learned policy equal V* from the exact
+        solver (unit hop costs, discounted)."""
+        neighbors, bs_reachable = grid_overlay(3, 3)
+        mdp, candidates, heads = build_overlay_mdp(neighbors, bs_reachable)
+        v_star, _ = value_iteration(mdp)
+        rng = np.random.default_rng(7)
+        parent = learn_spt(
+            mdp, candidates, rng, episodes=600, epsilon=0.2,
+            learning_rate=0.5,
+        )
+        bs_state = len(heads)
+        gamma = mdp.gamma
+        for s in range(len(heads)):
+            ret, cur, disc = 0.0, s, 1.0
+            while cur != bs_state:
+                ret += disc * -1.0
+                disc *= gamma
+                cur = int(parent[cur])
+            assert ret == pytest.approx(v_star[s], abs=1e-9)
+
+    def test_disconnected_component_learns_no_route(self):
+        """Heads with no path to a BS-reachable head must stay routeless
+        (never a forwarding loop)."""
+        neighbors, bs_reachable = grid_overlay(2, 2)
+        # An isolated pair 10-11, unreachable from the grid.
+        neighbors[10] = np.asarray([11], dtype=np.intp)
+        neighbors[11] = np.asarray([10], dtype=np.intp)
+        bs_reachable[10] = bs_reachable[11] = False
+        mdp, candidates, heads = build_overlay_mdp(neighbors, bs_reachable)
+        rng = np.random.default_rng(3)
+        parent = learn_spt(
+            mdp, candidates, rng, episodes=400, epsilon=0.2,
+            learning_rate=0.5,
+        )
+        bs_state = len(heads)
+        for s, h in enumerate(heads):
+            cur, seen = s, set()
+            while cur != bs_state and cur not in seen and cur >= 0:
+                seen.add(cur)
+                cur = int(parent[cur])
+            if h in (10, 11):
+                assert cur != bs_state
+            else:
+                assert cur == bs_state
+
+
+class TestQSPTSubstrate:
+    def test_uses_the_routing_rng_stream_only(self):
+        """QSPT training draws exclusively on ``routing_rng`` — the
+        traffic/channel/protocol streams stay untouched."""
+        state = NetworkState(make_config(seed=0))
+        proto = QLECProtocol()
+        proto.prepare(state)
+        heads = proto.select_cluster_heads(state)
+        marks = {
+            name: getattr(state, name).bit_generator.state
+            for name in ("traffic_rng", "protocol_rng", "engine_rng",
+                         "fault_rng")
+        }
+        routing_mark = state.routing_rng.bit_generator.state
+        router = build_router(RoutingConfig(kind="qspt"))
+        router.begin_round(state, heads)
+        for name, mark in marks.items():
+            assert getattr(state, name).bit_generator.state == mark, name
+        assert state.routing_rng.bit_generator.state != routing_mark
+
+    def test_per_round_rebuild_is_deterministic(self):
+        routes = []
+        for _ in range(2):
+            state = NetworkState(make_config(seed=11))
+            proto = QLECProtocol()
+            proto.prepare(state)
+            heads = proto.select_cluster_heads(state)
+            router = build_router(RoutingConfig(kind="qspt"))
+            router.begin_round(state, heads)
+            routes.append(dict(router._parent))
+        assert routes[0] == routes[1]

@@ -1,0 +1,189 @@
+"""Tree formation, mesh repair, fallback accounting, and the router
+registry / config surface."""
+
+import numpy as np
+import pytest
+
+from repro.config import ROUTING_CHOICES, RoutingConfig, SimulationConfig
+from repro.core import QLECProtocol
+from repro.routing import (
+    DIRECT_ROUTER,
+    ClusterTreeRouting,
+    QSPTRouting,
+    build_router,
+)
+from repro.routing.base import DEGRADE_THRESHOLD
+from repro.simulation.state import NetworkState
+from tests.conftest import make_config
+
+
+def make_state(seed=0, **kwargs):
+    return NetworkState(make_config(seed=seed, **kwargs))
+
+
+def elect_heads(state):
+    proto = QLECProtocol()
+    proto.prepare(state)
+    return proto.select_cluster_heads(state)
+
+
+class TestRoutingConfig:
+    def test_defaults(self):
+        rc = RoutingConfig()
+        assert rc.kind == "direct"
+        assert rc.mesh is True
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            RoutingConfig(kind="flood")
+        for kind in ROUTING_CHOICES:
+            assert RoutingConfig(kind=kind).kind == kind
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            RoutingConfig(range_factor=0.0)
+        with pytest.raises(ValueError):
+            RoutingConfig(hello_bits=0)
+        with pytest.raises(ValueError):
+            RoutingConfig(qspt_episodes=0)
+        with pytest.raises(ValueError):
+            RoutingConfig(qspt_epsilon=1.5)
+        with pytest.raises(ValueError):
+            RoutingConfig(qspt_learning_rate=0.0)
+
+    def test_simulation_config_embeds_routing(self):
+        cfg = make_config(routing=RoutingConfig(kind="tree"))
+        assert cfg.routing.kind == "tree"
+        with pytest.raises(ValueError):
+            SimulationConfig(routing="tree")  # must be the dataclass
+
+
+class TestRegistry:
+    def test_direct_is_the_inert_singleton(self):
+        router = build_router(RoutingConfig(kind="direct"))
+        assert router is DIRECT_ROUTER
+        assert router.active is False
+
+    def test_active_kinds_get_fresh_instances(self):
+        a = build_router(RoutingConfig(kind="tree"))
+        b = build_router(RoutingConfig(kind="tree"))
+        assert isinstance(a, ClusterTreeRouting)
+        assert a is not b
+        assert a.active is True
+        q = build_router(RoutingConfig(kind="qspt"))
+        assert isinstance(q, QSPTRouting)
+
+    def test_summary_carries_kind_and_counters(self):
+        router = build_router(RoutingConfig(kind="tree"))
+        s = router.summary()
+        assert s == {
+            "kind": "tree", "repairs": 0, "fallbacks": 0, "broadcasts": 0,
+        }
+
+
+class TestTreeFormation:
+    def test_parents_make_progress_toward_bs(self):
+        """Every routed head's parent has strictly smaller cost — the
+        potential that certifies repairs cannot loop."""
+        state = make_state(seed=0)
+        heads = elect_heads(state)
+        router = build_router(RoutingConfig(kind="tree", range_factor=2.0))
+        router.begin_round(state, heads)
+        assert router._parent, "no routes formed on the small cube"
+        for head, parent in router._parent.items():
+            if parent == state.bs_index:
+                continue
+            assert router._cost[parent] < router._cost[head]
+
+    def test_paths_end_heads_only_and_bounded(self):
+        state = make_state(seed=1)
+        heads = elect_heads(state)
+        router = build_router(RoutingConfig(kind="tree", range_factor=2.0))
+        router.begin_round(state, heads)
+        head_set = set(int(h) for h in heads)
+        for h in heads:
+            path = router.uplink_path(state, int(h), heads)
+            assert len(path) <= heads.size
+            assert all(p in head_set for p in path)
+            assert int(h) not in path
+
+    def test_unknown_head_falls_back_direct(self):
+        """A head elected after discovery (not in this round's table)
+        takes the long-shot direct uplink and is counted."""
+        state = make_state(seed=2)
+        heads = elect_heads(state)
+        router = build_router(RoutingConfig(kind="tree"))
+        router.begin_round(state, heads)
+        outsider = int(np.setdiff1d(np.arange(state.n), heads)[0])
+        before = router.counters()["fallbacks"]
+        assert router.uplink_path(state, outsider, heads) == []
+        assert router.counters()["fallbacks"] == before + 1
+
+
+def _forced_chain_router(state, heads, kind="tree", mesh=True):
+    """A router whose parent map is a hand-built 3-hop chain
+    h0 -> h1 -> h2 -> BS so repair behaviour is fully controlled."""
+    router = build_router(RoutingConfig(kind=kind, mesh=mesh))
+    router.begin_round(state, heads)
+    live = router.table.heads
+    h0, h1, h2 = (int(live[0]), int(live[1]), int(live[2]))
+    router._parent = {h0: h1, h1: h2, h2: state.bs_index}
+    router._cost = {h0: 3.0, h1: 2.0, h2: 1.0}
+    # Make the chain links visible to mesh repair regardless of what
+    # discovery found on this geometry.
+    router.table.neighbors[h0] = np.asarray([h1, h2], dtype=np.intp)
+    return router, (h0, h1, h2)
+
+
+class TestMeshRepairAndFallback:
+    def test_dead_parent_is_repaired_around(self):
+        state = make_state(seed=3)
+        heads = elect_heads(state)
+        router, (h0, h1, h2) = _forced_chain_router(state, heads)
+        state.ledger.force_kill([h1])
+        path = router.uplink_path(state, h0, heads)
+        assert path == [h2], "repair should skip the dead parent to h2"
+        assert router.counters()["repairs"] == 1
+
+    def test_collapsed_link_triggers_repair(self):
+        state = make_state(seed=3)
+        heads = elect_heads(state)
+        router, (h0, h1, h2) = _forced_chain_router(state, heads)
+        # Push the h0->h1 estimate under the degrade threshold.
+        while state.link_estimator.get(h0, h1) >= DEGRADE_THRESHOLD:
+            state.link_estimator.update(h0, h1, False)
+        path = router.uplink_path(state, h0, heads)
+        assert path == [h2]
+        assert router.counters()["repairs"] == 1
+
+    def test_mesh_off_falls_back_instead(self):
+        state = make_state(seed=3)
+        heads = elect_heads(state)
+        router, (h0, h1, h2) = _forced_chain_router(state, heads, mesh=False)
+        state.ledger.force_kill([h1])
+        path = router.uplink_path(state, h0, heads)
+        assert path == []
+        assert router.counters()["repairs"] == 0
+        assert router.counters()["fallbacks"] == 1
+
+    def test_no_usable_neighbor_keeps_walked_prefix(self):
+        state = make_state(seed=3)
+        heads = elect_heads(state)
+        router, (h0, h1, h2) = _forced_chain_router(state, heads)
+        state.ledger.force_kill([h2])
+        # h0 -> h1 fine; h1's parent h2 is dead and h1 has no repair
+        # candidate with smaller cost -> fallback keeps [h1].
+        router.table.neighbors[h1] = np.empty(0, dtype=np.intp)
+        path = router.uplink_path(state, h0, heads)
+        assert path == [h1]
+        assert router.counters()["fallbacks"] == 1
+
+    def test_counters_accumulate_across_rounds(self):
+        state = make_state(seed=4)
+        heads = elect_heads(state)
+        router = build_router(RoutingConfig(kind="tree"))
+        router.begin_round(state, heads)
+        first = router.counters()["broadcasts"]
+        assert first == router.table.broadcasts
+        router.begin_round(state, heads)
+        assert router.counters()["broadcasts"] > first
