@@ -20,6 +20,7 @@ import sys
 from dataclasses import fields
 from pathlib import Path
 
+from repro.checkpoint import CHECKPOINT_KIND, CHECKPOINT_SCHEMA
 from repro.parallel.scheduler import SCHED_EVENT_KIND
 from repro.parallel.status import STATUS_KIND, STATUS_SCHEMA
 from repro.simulation.trace import PATH_KIND, RoundTrace
@@ -149,6 +150,29 @@ PATH_KEYS = {
     "delivered": int,
 }
 
+#: Required keys of an engine-checkpoint header line (the single JSON
+#: line that precedes the binary payload in a ``.ckpt`` snapshot).
+CHECKPOINT_KEYS = {
+    "kind": str,
+    "schema": int,
+    "package": str,
+    "version": str,
+    "config_fingerprint": str,
+    "round_index": int,
+    "run": dict,
+    "payload_bytes": int,
+    "payload_sha256": str,
+}
+
+#: Required keys of a ``<tag>.resume.jsonl`` sidecar row (one appended
+#: per snapshot-restored cell attempt).
+RESUME_KEYS = {
+    "kind": str,
+    "tag": str,
+    "round_index": int,
+    "snapshot": str,
+}
+
 SCHED_EVENTS = (
     "lease",
     "steal",
@@ -267,10 +291,10 @@ def check_status_record(obj: dict, where: str) -> list[str]:
             f"{where}: shard-status schema {obj.get('schema')} != "
             f"{STATUS_SCHEMA}"
         )
-    if obj.get("state") not in ("running", "complete"):
+    if obj.get("state") not in ("running", "complete", "draining", "stopped"):
         errors.append(
             f"{where}: shard-status state {obj.get('state')!r} must be "
-            "'running' or 'complete'"
+            "'running', 'complete', 'draining', or 'stopped'"
         )
     fp = obj.get("spec_fingerprint", "")
     if not re.fullmatch(r"[0-9a-f]{16}", fp):
@@ -315,6 +339,25 @@ def check_path_record(obj: dict, where: str) -> list[str]:
             errors.append(
                 f"{where}: delivered {delivered} outside [0, frames={frames}]"
             )
+    return errors
+
+
+def check_checkpoint_header(obj: dict, where: str) -> list[str]:
+    """An ``engine-checkpoint`` line is the self-describing header of a
+    ``.ckpt`` snapshot; the invariants mirror the validation order in
+    :func:`repro.checkpoint.read_checkpoint`."""
+    errors = _check_keys(obj, CHECKPOINT_KEYS, "checkpoint header", where)
+    if obj.get("schema") != CHECKPOINT_SCHEMA:
+        errors.append(
+            f"{where}: checkpoint schema {obj.get('schema')} != "
+            f"{CHECKPOINT_SCHEMA}"
+        )
+    fp = obj.get("config_fingerprint", "")
+    if not re.fullmatch(r"[0-9a-f]{16}", fp):
+        errors.append(f"{where}: config_fingerprint {fp!r} is not 16 hex digits")
+    sha = obj.get("payload_sha256", "")
+    if not re.fullmatch(r"[0-9a-f]{64}", sha):
+        errors.append(f"{where}: payload_sha256 {sha!r} is not 64 hex digits")
     return errors
 
 
@@ -373,6 +416,12 @@ def check_file(path: Path) -> list[str]:
                 errors.extend(check_sched_event(obj, where))
             elif kind == PATH_KIND:
                 errors.extend(check_path_record(obj, where))
+            elif kind == CHECKPOINT_KIND:
+                errors.extend(check_checkpoint_header(obj, where))
+            elif kind == "checkpoint-resume":
+                errors.extend(
+                    _check_keys(obj, RESUME_KEYS, "resume row", where)
+                )
             else:
                 errors.extend(check_round_record(obj, where))
     return errors

@@ -45,6 +45,7 @@ CHAOS_LAMBDA = 4.0
 def chaos_cell(
     protocol, lam, seed, initial_energy, rounds, stop, telemetry,
     backend="auto", faults=None, equivalence="bitwise", max_block_mb=None,
+    routing="direct",
 ):
     kill_dir = os.environ.get(KILL_DIR_ENV)
     if kill_dir and seed == KILL_SEED and lam == CHAOS_LAMBDA:
@@ -63,6 +64,7 @@ def chaos_cell(
         initial_energy=initial_energy, rounds=rounds,
         stop_on_death=stop, telemetry=telemetry, backend=backend,
         faults=faults, equivalence=equivalence, max_block_mb=max_block_mb,
+        routing=routing,
     )
 
 

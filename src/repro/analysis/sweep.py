@@ -29,7 +29,6 @@ from ..config import RoutingConfig, paper_config
 from ..core import QLECProtocol
 from ..kernels import resolve_backend_name
 from ..parallel import SweepSpec, fold_results, run_tasks
-from ..simulation import run_simulation
 from ..telemetry import Telemetry, merge_snapshots
 from .stats import mean_ci
 
@@ -56,6 +55,37 @@ PROTOCOLS: dict[str, Callable[[], ClusteringProtocol]] = {
 }
 
 
+def _log_resume(checkpoint_dir, tag: str, header: dict, path) -> None:
+    """Append one resume record to the tag's observability sidecar.
+
+    The sidecar is ephemeral operational evidence ("this attempt
+    restored round N from that snapshot"), written with O_APPEND so
+    concurrent attempts interleave whole lines; it is never merged,
+    fingerprinted, or read back by the sweep machinery — chaos tests
+    and operators read it to prove a reclaim resumed instead of
+    recomputing.
+    """
+    import json
+    import os
+
+    record = {
+        "kind": "checkpoint-resume",
+        "tag": tag,
+        "round_index": header["round_index"],
+        "snapshot": os.path.basename(str(path)),
+    }
+    line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(
+        os.path.join(str(checkpoint_dir), f"{tag}.resume.jsonl"),
+        os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+        0o644,
+    )
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
 def run_cell(
     protocol: str,
     mean_interarrival: float,
@@ -69,6 +99,9 @@ def run_cell(
     equivalence: str = "bitwise",
     max_block_mb: float | None = None,
     routing: str = "direct",
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_keep_last: int = 3,
 ) -> dict:
     """One sweep cell: build the Table-2 scenario and run one protocol.
 
@@ -98,6 +131,15 @@ def run_cell(
     ``routing`` selects the multi-hop substrate
     (:data:`repro.config.ROUTING_CHOICES`); also a config field, so it
     too hashes into the fingerprint/cell ID.
+
+    ``checkpoint_every`` + ``checkpoint_dir`` make the cell
+    *preemptible*: the engine snapshots its complete state every N
+    rounds under a tag derived from the cell identity, and a rerun of
+    the same cell (a reclaimed scheduler lease, a retried shard)
+    restores the newest valid snapshot and re-executes only the rounds
+    after it — bit-identical to an uninterrupted run.  Checkpoint
+    knobs are execution detail, never identity: they hash into no
+    fingerprint and no cell ID.
     """
     if protocol not in PROTOCOLS:
         raise KeyError(f"unknown protocol {protocol!r}; known: {sorted(PROTOCOLS)}")
@@ -117,12 +159,52 @@ def run_cell(
         from ..faults import build_fault_plan
 
         config = config.replace(faults=build_fault_plan(faults, config))
+    proto = PROTOCOLS[protocol]()
+    engine = None
+    ckpt_tag = None
+    if checkpoint_dir is not None and checkpoint_every:
+        from ..checkpoint import latest_valid
+        from ..telemetry.manifest import config_fingerprint
+
+        fingerprint = config_fingerprint(config)
+        ckpt_tag = f"{protocol}-{fingerprint}"
+        expected_run = {
+            "protocol": proto.name,
+            "stop_on_death": bool(stop_on_death),
+            "batched": True,
+            "telemetry": bool(telemetry),
+            "tracer": False,
+            "trace": False,
+        }
+        found = latest_valid(
+            checkpoint_dir,
+            ckpt_tag,
+            config_fingerprint=fingerprint,
+            run=expected_run,
+        )
+        if found is not None:
+            path, header, engine = found
+            _log_resume(checkpoint_dir, ckpt_tag, header, path)
     tel = Telemetry() if telemetry else None
-    result = run_simulation(
-        config,
-        PROTOCOLS[protocol](),
-        stop_on_death=stop_on_death,
-        telemetry=tel,
+    if engine is None:
+        from ..simulation import SimulationEngine
+
+        engine = SimulationEngine(
+            config,
+            proto,
+            stop_on_death=stop_on_death,
+            telemetry=tel,
+        )
+    elif telemetry:
+        # The snapshot carries the half-accumulated telemetry of the
+        # interrupted attempt; the finished cell's snapshot must come
+        # from it, not from a fresh handle.
+        tel = engine.telemetry
+    result = engine.run(
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_keep_last=checkpoint_keep_last,
+        checkpoint_tag=ckpt_tag if ckpt_tag is not None else "cell",
     )
     summary = result.summary()
     summary["protocol"] = protocol  # registry name, not class default

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..routing.hierarchy import nearest_alive_relay
 from ..simulation.state import NetworkState
 from .base import ClusteringProtocol, NearestHeadRelayMixin
 
@@ -103,12 +104,7 @@ class TLLEACHProtocol(NearestHeadRelayMixin, ClusteringProtocol):
     def uplink_path(
         self, state: NetworkState, head: int, heads: np.ndarray
     ) -> list[int]:
-        """Secondary heads relay through the nearest alive primary."""
-        primaries = self._primaries
-        if head in primaries or primaries.size == 0:
-            return []
-        alive = primaries[state.ledger.alive[primaries]]
-        if alive.size == 0:
-            return []
-        d = state.distances_from(head, alive)
-        return [int(alive[d.argmin()])]
+        """Secondary heads relay through the nearest alive primary
+        (delegates to the routing substrate's shared primitive;
+        bit-identical to the pre-substrate inline implementation)."""
+        return nearest_alive_relay(state, head, self._primaries)

@@ -12,6 +12,7 @@ Commands
 ``convergence``  Theorem-3 X measurement (expected vs sampled backups)
 ``sensitivity``  QLEC hyperparameter robustness sweep
 ``scenario``     run one protocol on a named scenario from the catalog
+``resume``       finish a checkpointed run from an engine snapshot
 ``sweep``        run one shard of a sweep grid into a JSONL artifact
 ``serve``        long-running scheduler over a directory of job files
 ``status``       render the live progress of sharded sweep invocations
@@ -85,6 +86,25 @@ def _add_routing_arg(cmd: argparse.ArgumentParser) -> None:
              "traces; 'tree' builds an ETX cluster tree with mesh repair; "
              "'qspt' learns shortest-path trees with distributed "
              "Q-learning (see docs/routing.md)",
+    )
+
+
+def _add_checkpoint_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="snapshot the complete engine state every N rounds so a "
+             "killed or drained run resumes bit-identically (see "
+             "docs/checkpointing.md); default off — runs without it "
+             "execute exactly as before",
+    )
+    cmd.add_argument(
+        "--checkpoint-dir", type=str, default="checkpoints", metavar="DIR",
+        help="directory holding the rotated .ckpt snapshots",
+    )
+    cmd.add_argument(
+        "--keep-last", type=int, default=3, metavar="K",
+        help="rotated snapshots kept per run (older ones are unlinked); "
+             "restore degrades to the newest snapshot that validates",
     )
 
 
@@ -180,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(swp)
     _add_faults_arg(swp)
     _add_routing_arg(swp)
+    _add_checkpoint_args(swp)
 
     srv = sub.add_parser(
         "serve",
@@ -258,6 +279,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(scen)
     _add_faults_arg(scen)
     _add_routing_arg(scen)
+    _add_checkpoint_args(scen)
+
+    res = sub.add_parser(
+        "resume", help="finish a checkpointed run from an engine snapshot"
+    )
+    res.add_argument("snapshot", type=str,
+                     help="path to a .ckpt snapshot written by a "
+                          "checkpointing run (scenario/sweep cell)")
+    res.add_argument("--checkpoint-every", type=int, default=None,
+                     metavar="N",
+                     help="keep snapshotting every N rounds while "
+                          "finishing (snapshots land next to the input)")
+    res.add_argument("--keep-last", type=int, default=3, metavar="K",
+                     help="rotated snapshots kept while finishing")
 
     stat = sub.add_parser(
         "status", help="render live progress of sharded sweep invocations"
@@ -451,7 +486,30 @@ def _cmd_scenario(args) -> int:
         config, PROTOCOLS[args.protocol](), nodes=nodes, bs=bs,
         telemetry=tel, backend=args.backend, tracer=tracer,
     )
-    result = engine.run()
+    if args.checkpoint_every:
+        from .checkpoint import DrainInterrupted
+        from .parallel import drain_on_signals
+
+        with drain_on_signals() as stop:
+            try:
+                result = engine.run(
+                    checkpoint_every=args.checkpoint_every,
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_keep_last=args.keep_last,
+                    checkpoint_tag=(
+                        f"{args.protocol}-{args.name}-s{args.seed}"
+                    ),
+                    stop_requested=stop,
+                )
+            except DrainInterrupted as exc:
+                print(
+                    f"drained after round {exc.round_index}: "
+                    f"snapshot {exc.snapshot_path}; finish with "
+                    f"'repro resume {exc.snapshot_path}'"
+                )
+                return 0
+    else:
+        result = engine.run()
     if tracer is not None:
         trace_path = Path(args.trace)
         tracer.write_jsonl(trace_path)
@@ -496,8 +554,53 @@ def _cmd_scenario(args) -> int:
     return 0
 
 
+def _cmd_resume(args) -> int:
+    from pathlib import Path
+
+    from .analysis import render_table, render_telemetry
+    from .checkpoint import CHECKPOINT_SUFFIX, DrainInterrupted, read_checkpoint
+    from .parallel import drain_on_signals
+
+    path = Path(args.snapshot)
+    header, engine = read_checkpoint(path)
+    stem = path.name[: -len(CHECKPOINT_SUFFIX)]
+    tag = stem.rpartition("-r")[0] or stem
+    run_kwargs = {}
+    if args.checkpoint_every:
+        run_kwargs = {
+            "checkpoint_every": args.checkpoint_every,
+            "checkpoint_dir": path.parent,
+            "checkpoint_keep_last": args.keep_last,
+            "checkpoint_tag": tag,
+        }
+    print(
+        f"resuming from round {header['round_index']} of "
+        f"{engine.config.rounds} ({path})"
+    )
+    with drain_on_signals() as stop:
+        try:
+            result = engine.run(stop_requested=stop, **run_kwargs)
+        except DrainInterrupted as exc:
+            print(
+                f"drained after round {exc.round_index}: "
+                f"snapshot {exc.snapshot_path}"
+            )
+            return 0
+    print(render_table([result.summary()], title=f"resumed run {tag!r}"))
+    if engine.telemetry.enabled:
+        print()
+        print(render_telemetry(engine.telemetry.snapshot()))
+    return 0
+
+
 def _cmd_sweep(args) -> int:
-    from .parallel import SweepSpec, parse_shard_arg, run_scheduled, run_shard
+    from .parallel import (
+        SweepSpec,
+        drain_on_signals,
+        parse_shard_arg,
+        run_scheduled,
+        run_shard,
+    )
     from .telemetry.jsonl import compression_suffix, resolve_compression
 
     shard, num_shards = parse_shard_arg(args.shard)
@@ -529,19 +632,26 @@ def _cmd_sweep(args) -> int:
             )
             return 2
         out = args.out or f"sweep-scheduled.jsonl{suffix}"
-        sched = run_scheduled(
-            spec,
-            out,
-            num_workers=args.workers,
-            resume=not args.no_resume,
-            retries=args.retries,
-            compression=args.compress,
-            **(
-                {"lease_seconds": args.lease_seconds}
-                if args.lease_seconds is not None
-                else {}
-            ),
-        )
+        with drain_on_signals() as stop:
+            sched = run_scheduled(
+                spec,
+                out,
+                num_workers=args.workers,
+                resume=not args.no_resume,
+                retries=args.retries,
+                compression=args.compress,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=(
+                    args.checkpoint_dir if args.checkpoint_every else None
+                ),
+                checkpoint_keep_last=args.keep_last,
+                stop_requested=stop,
+                **(
+                    {"lease_seconds": args.lease_seconds}
+                    if args.lease_seconds is not None
+                    else {}
+                ),
+            )
         print(
             f"scheduled: {len(spec)} cells -> {sched.path}"
         )
@@ -557,19 +667,36 @@ def _cmd_sweep(args) -> int:
                 f"seed={err['seed']}): "
                 f"{err['error']['type']}: {err['error']['message']}"
             )
+        if stop.requested:
+            print(
+                "drained: artifact left resumable; "
+                "re-run the same command to finish"
+            )
         return 1 if sched.errors else 0
     out = args.out or f"sweep-shard-{shard}of{num_shards}.jsonl{suffix}"
-    result = run_shard(
-        spec,
-        shard,
-        num_shards,
-        out,
-        resume=not args.no_resume,
-        max_workers=args.workers,
-        serial=args.serial,
-        retries=args.retries,
-        compression=args.compress,
-    )
+    with drain_on_signals() as stop:
+        result = run_shard(
+            spec,
+            shard,
+            num_shards,
+            out,
+            resume=not args.no_resume,
+            max_workers=args.workers,
+            serial=args.serial,
+            retries=args.retries,
+            compression=args.compress,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=(
+                args.checkpoint_dir if args.checkpoint_every else None
+            ),
+            checkpoint_keep_last=args.keep_last,
+            stop_requested=stop,
+        )
+    if stop.requested:
+        print(
+            "drained: artifact left resumable; "
+            "re-run the same command to finish"
+        )
     print(
         f"shard {shard}/{num_shards}: {len(result.cells)} of {len(spec)} "
         f"cells -> {result.path}"
@@ -588,21 +715,32 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .parallel import drain_on_signals
     from .parallel.serve import serve_forever, serve_once
 
-    if args.once or args.cycles is not None:
-        if args.once and args.cycles is None:
-            report = serve_once(args.jobs_dir, workers=args.workers)
-        else:
+    with drain_on_signals() as stop:
+        if args.once or args.cycles is not None:
+            if args.once and args.cycles is None:
+                report = serve_once(
+                    args.jobs_dir, workers=args.workers, stop_requested=stop
+                )
+            else:
+                report = serve_forever(
+                    args.jobs_dir,
+                    workers=args.workers,
+                    idle_seconds=args.idle,
+                    max_cycles=args.cycles,
+                    stop_requested=stop,
+                )
+        else:  # pragma: no cover - unbounded interactive loop
             report = serve_forever(
-                args.jobs_dir,
-                workers=args.workers,
-                idle_seconds=args.idle,
-                max_cycles=args.cycles,
+                args.jobs_dir, workers=args.workers, idle_seconds=args.idle,
+                stop_requested=stop,
             )
-    else:  # pragma: no cover - unbounded interactive loop
-        report = serve_forever(
-            args.jobs_dir, workers=args.workers, idle_seconds=args.idle
+    if stop.requested:
+        print(
+            "drained: in-flight cells landed in their artifacts; "
+            "the next 'repro serve' pass computes exactly the rest"
         )
     print(
         f"serve: {len(report.jobs)} job(s); executed {report.executed}, "
@@ -710,6 +848,7 @@ _COMMANDS = {
     "convergence": _cmd_convergence,
     "sensitivity": _cmd_sensitivity,
     "scenario": _cmd_scenario,
+    "resume": _cmd_resume,
     "status": _cmd_status,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
@@ -721,6 +860,7 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from .checkpoint import CheckpointError
     from .kernels import BackendUnavailableError, EquivalenceError
     from .telemetry.jsonl import CompressionUnavailableError
 
@@ -730,12 +870,14 @@ def main(argv: list[str] | None = None) -> int:
         BackendUnavailableError,
         EquivalenceError,
         CompressionUnavailableError,
+        CheckpointError,
     ) as exc:
         # An explicitly requested backend or codec the host cannot
         # provide — or a tier combination the policy forbids
-        # (statistical + golden traces, cross-tier merges) — is a
-        # usage error, not a crash: say what is wrong and how to
-        # proceed, exit distinctly.
+        # (statistical + golden traces, cross-tier merges), or a
+        # snapshot that fails validation (corrupt, wrong config,
+        # wrong version) — is a usage error, not a crash: say what
+        # is wrong and how to proceed, exit distinctly.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

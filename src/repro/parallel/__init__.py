@@ -25,6 +25,7 @@ from .sharding import (
     run_shard,
     write_merged_artifact,
 )
+from .signals import DrainFlag, drain_on_signals
 from .status import (
     STATUS_KIND,
     STATUS_SCHEMA,
@@ -35,6 +36,7 @@ from .status import (
 )
 
 __all__ = [
+    "DrainFlag",
     "Lease",
     "MergedSweep",
     "SCHED_EVENT_KIND",
@@ -51,6 +53,7 @@ __all__ = [
     "artifact_compression",
     "classify_error",
     "default_workers",
+    "drain_on_signals",
     "find_status_files",
     "fold_results",
     "iter_tasks",

@@ -664,6 +664,10 @@ def run_scheduled(
     poll_seconds: float = 0.1,
     on_progress: Callable | None = None,
     mp_context: str | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir=None,
+    checkpoint_keep_last: int = 3,
+    stop_requested: Callable[[], bool] | None = None,
 ) -> ScheduledRunResult:
     """Run a whole sweep grid under the work-stealing scheduler.
 
@@ -684,6 +688,22 @@ def run_scheduled(
     backstop for wedged-but-alive workers.  Deterministic cell
     failures become ``cell-error`` rows immediately; transient ones
     re-lease up to ``max_lease_attempts`` grants.
+
+    ``checkpoint_every`` + ``checkpoint_dir`` forward per-cell
+    checkpointing to :func:`~repro.analysis.sweep.run_cell` (appended
+    to the task args only when enabled, so custom ``cell_fn``
+    signatures are untouched): a reclaimed or re-leased cell then
+    resumes from the victim attempt's newest valid snapshot instead of
+    recomputing from round 0 — bit-identical either way.  Checkpoint
+    knobs are execution detail, never identity: they hash into no
+    fingerprint and no cell ID.
+
+    ``stop_requested`` (e.g. a
+    :class:`~repro.parallel.signals.DrainFlag`) makes the coordinator
+    drain gracefully: once it returns true, no new leases are granted,
+    in-flight cells finish and their rows are accepted, the status
+    sidecar passes through ``draining`` to ``stopped``, and a later
+    ``resume=True`` call computes exactly the remaining cells.
     """
     import multiprocessing as mp
     from multiprocessing import connection as mp_conn
@@ -772,6 +792,15 @@ def run_scheduled(
     ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
     fleet: dict[str, _Worker] = {}
     deaths = 0
+    draining = False
+
+    # Appended only when enabled, so custom cell_fns with the fixed
+    # 12-argument signature keep working unchanged.
+    ckpt_extra = (
+        (checkpoint_every, str(checkpoint_dir), checkpoint_keep_last)
+        if checkpoint_dir is not None and checkpoint_every
+        else ()
+    )
 
     def _args_for(cell: SweepCell) -> tuple:
         return (
@@ -787,7 +816,7 @@ def run_scheduled(
             cell.equivalence,
             spec.max_block_mb,
             spec.routing,
-        )
+        ) + ckpt_extra
 
     fh = JsonlWriter(out_path, compression=codec, append=True)
 
@@ -836,12 +865,25 @@ def run_scheduled(
             pass
         worker.process.join(timeout=1)
         fleet.pop(worker.name, None)
-        if not scheduler.finished:
+        if not scheduler.finished and not draining:
             # Same slot, fresh process: the replacement inherits the
             # home queue, so locality survives the respawn.
             name = f"{worker.name.split('+')[0]}+{deaths}"
             fleet[name] = _Worker.spawn(ctx, name, worker.index, fn, retries)
             _assign(fleet[name])
+
+    def _check_drain() -> bool:
+        # Latch at most once; polled at every safe boundary (loop top
+        # and each accepted record) so a worker is never handed a new
+        # lease after the drain request.
+        nonlocal draining
+        if not draining and stop_requested is not None and stop_requested():
+            # Graceful drain: grant no new leases; in-flight cells
+            # finish and their rows are accepted; queued cells stay
+            # queued for a later resume.
+            draining = True
+            progress.draining()
+        return draining
 
     try:
         if pending:
@@ -852,6 +894,8 @@ def run_scheduled(
 
         while not scheduler.finished:
             _drain_events()
+            if _check_drain() and not scheduler.leases:
+                break
             conns = {w.conn: w for w in fleet.values()}
             ready = mp_conn.wait(list(conns), timeout=poll_seconds)
             now = time.monotonic()
@@ -874,15 +918,20 @@ def run_scheduled(
                     )
                     if record is not None:
                         _accept(record, error=True, attempts=attempts)
-                _assign(worker)
+                if not _check_drain():
+                    _assign(worker)
             scheduler.reclaim_expired(now)
             _flush_synthetic_errors()
             # Reclaimed / requeued cells may have idled workers waiting.
-            for worker in list(fleet.values()):
-                if scheduler.lease_of(worker.name) is None:
-                    _assign(worker)
+            if not draining:
+                for worker in list(fleet.values()):
+                    if scheduler.lease_of(worker.name) is None:
+                        _assign(worker)
         _drain_events()
-        if spec.telemetry:
+        # A drained run skips the trailer on purpose: the artifact is
+        # left non-canonical, so the next resume rewrites it and
+        # computes exactly the missing cells.
+        if spec.telemetry and scheduler.finished:
             snaps = [
                 r["telemetry"] for r in records
                 if r["kind"] == CELL_KIND and "telemetry" in r
@@ -904,5 +953,8 @@ def run_scheduled(
     result.worker_deaths = deaths
     progress.steals = scheduler.steals
     progress.reclaimed = scheduler.reclaims
-    progress.finish()
+    if draining and not scheduler.finished:
+        progress.stopped()
+    else:
+        progress.finish()
     return result

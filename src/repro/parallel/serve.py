@@ -23,8 +23,19 @@ Job file schema::
       "compression": "auto",   // optional artifact codec
       "retries": 1,            // optional in-worker retries
       "lease_seconds": 300.0,  // optional
-      "max_lease_attempts": 3  // optional
+      "max_lease_attempts": 3, // optional
+      "checkpoint_every": 50,  // optional: snapshot cells every N rounds
+      "checkpoint_keep_last": 3
     }
+
+A job with ``checkpoint_every`` set runs its cells *preemptibly*:
+engine snapshots land under ``<dir>/checkpoints/<name>/`` and a
+re-leased or drained-then-resumed cell restores the newest valid one
+instead of recomputing from round 0.  ``kill -TERM`` (or Ctrl-C)
+against a serve loop drains gracefully: the in-flight cells finish,
+the snapshot republishes with state ``stopped``, and the process
+exits cleanly — the next ``repro serve`` picks up exactly the
+remaining work.
 
 The job's name is the file stem (``fig3.job.json`` → ``fig3``); its
 artifact lands at ``<dir>/artifacts/<name>.jsonl`` (plus the codec
@@ -76,6 +87,9 @@ class SweepJob:
     retries: int = 0
     lease_seconds: float = DEFAULT_LEASE_SECONDS
     max_lease_attempts: int = DEFAULT_MAX_LEASE_ATTEMPTS
+    checkpoint_every: int | None = None
+    checkpoint_dir: Path | None = None
+    checkpoint_keep_last: int = 3
 
 
 def serve_status_path(jobs_dir) -> Path:
@@ -102,6 +116,7 @@ def load_job(path, artifacts_dir=None) -> SweepJob:
     known = {
         "spec", "workers", "compression", "retries",
         "lease_seconds", "max_lease_attempts",
+        "checkpoint_every", "checkpoint_keep_last",
     }
     unknown = set(payload) - known
     if unknown:
@@ -116,6 +131,8 @@ def load_job(path, artifacts_dir=None) -> SweepJob:
         if artifacts_dir is not None
         else path.parent / "artifacts"
     )
+    raw_every = payload.get("checkpoint_every")
+    checkpoint_every = int(raw_every) if raw_every else None
     return SweepJob(
         name=name,
         spec=SweepSpec.from_payload(payload["spec"]),
@@ -128,6 +145,11 @@ def load_job(path, artifacts_dir=None) -> SweepJob:
         max_lease_attempts=int(
             payload.get("max_lease_attempts", DEFAULT_MAX_LEASE_ATTEMPTS)
         ),
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=(
+            path.parent / "checkpoints" / name if checkpoint_every else None
+        ),
+        checkpoint_keep_last=int(payload.get("checkpoint_keep_last", 3)),
     )
 
 
@@ -217,6 +239,7 @@ def serve_once(
     workers: int | None = None,
     poll_seconds: float = 0.1,
     on_progress=None,
+    stop_requested=None,
 ) -> ServeReport:
     """Drain the current catalog once: run (or resume) every job.
 
@@ -226,13 +249,28 @@ def serve_once(
     accepted cell, so ``serve-status.json`` is a live partial-sweep
     feed while a grid runs.  ``workers`` overrides any per-job setting
     (a host-capacity knob, not a job property).
+
+    ``stop_requested`` (e.g. a
+    :class:`~repro.parallel.signals.DrainFlag`) drains gracefully: the
+    running job's in-flight cells finish and stream into its artifact,
+    no further jobs start, and the snapshot republishes with state
+    ``stopped`` — the next pass computes exactly the remaining cells.
     """
     jobs_dir = Path(jobs_dir)
     report = ServeReport(jobs=discover_jobs(jobs_dir))
+    drained = False
     for job in report.jobs:
+        if stop_requested is not None and stop_requested():
+            drained = True
+            break
 
         def _progress(scheduler, result, _job=job):
-            _publish(jobs_dir, report.jobs, state="running")
+            state = (
+                "draining"
+                if stop_requested is not None and stop_requested()
+                else "running"
+            )
+            _publish(jobs_dir, report.jobs, state=state)
             if on_progress is not None:
                 on_progress(_job, scheduler, result)
 
@@ -246,6 +284,10 @@ def serve_once(
             compression=job.compression,
             poll_seconds=poll_seconds,
             on_progress=_progress,
+            checkpoint_every=job.checkpoint_every,
+            checkpoint_dir=job.checkpoint_dir,
+            checkpoint_keep_last=job.checkpoint_keep_last,
+            stop_requested=stop_requested,
         )
         report.executed += len(result.executed)
         report.resumed += len(result.skipped)
@@ -253,7 +295,10 @@ def serve_once(
         report.worker_deaths += result.worker_deaths
         report.reclaims += result.reclaims
         report.steals += result.steals
-    _publish(jobs_dir, report.jobs, state="idle")
+        if stop_requested is not None and stop_requested():
+            drained = True
+            break
+    _publish(jobs_dir, report.jobs, state="stopped" if drained else "idle")
     return report
 
 
@@ -266,6 +311,7 @@ def serve_forever(
     max_cycles: int | None = None,
     on_progress=None,
     sleep=time.sleep,
+    stop_requested=None,
 ) -> ServeReport:
     """The always-on loop: drain the catalog, sleep, rescan, repeat.
 
@@ -274,7 +320,8 @@ def serve_forever(
     (artifact bytes untouched).  ``max_cycles`` bounds the loop for
     tests and batch use (``repro serve --once`` is ``max_cycles=1``);
     ``sleep`` is injectable so tests never wait wall-clock time.
-    Returns the report of the *last* cycle.
+    ``stop_requested`` ends the loop at the next safe boundary (see
+    :func:`serve_once`).  Returns the report of the *last* cycle.
     """
     cycles = 0
     report = ServeReport()
@@ -284,8 +331,11 @@ def serve_forever(
             workers=workers,
             poll_seconds=poll_seconds,
             on_progress=on_progress,
+            stop_requested=stop_requested,
         )
         cycles += 1
+        if stop_requested is not None and stop_requested():
+            break
         if max_cycles is not None and cycles >= max_cycles:
             break
         sleep(idle_seconds)

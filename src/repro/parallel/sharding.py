@@ -383,6 +383,9 @@ def _default_cell_fn(
     equivalence: str = "bitwise",
     max_block_mb: float | None = None,
     routing: str = "direct",
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_keep_last: int = 3,
 ):
     # Deferred import keeps repro.parallel free of an import cycle with
     # repro.analysis (which imports this package at module scope).
@@ -401,6 +404,9 @@ def _default_cell_fn(
         equivalence=equivalence,
         max_block_mb=max_block_mb,
         routing=routing,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_keep_last=checkpoint_keep_last,
     )
 
 
@@ -592,6 +598,10 @@ def run_shard(
     retries: int = 1,
     cell_fn: Callable | None = None,
     compression: str | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir=None,
+    checkpoint_keep_last: int = 3,
+    stop_requested: Callable[[], bool] | None = None,
 ) -> ShardRunResult:
     """Execute shard ``shard/num_shards`` of ``spec`` into a JSONL artifact.
 
@@ -620,6 +630,21 @@ def run_shard(
         by path suffix for a fresh one.  Compression is transport, not
         identity — it never enters fingerprints or cell IDs, and
         :func:`load_artifact` reads any codec transparently.
+    checkpoint_every, checkpoint_dir, checkpoint_keep_last:
+        Round-boundary engine checkpointing for every cell (see
+        :mod:`repro.checkpoint`): a killed or retried cell resumes from
+        its newest valid snapshot instead of recomputing from round 0.
+        Execution detail, never identity — the extra arguments are
+        appended to the worker tuples *only when enabled*, so custom
+        ``cell_fn`` signatures without checkpoint parameters keep
+        working, and artifacts/fingerprints are unchanged either way.
+    stop_requested:
+        Zero-argument drain predicate polled at every cell boundary
+        (wire a :class:`repro.parallel.signals.DrainFlag` latched by
+        SIGTERM/SIGINT).  When it returns True the runner stops
+        consuming results, records the status sidecar as ``stopped``
+        (not ``complete``), skips the telemetry trailer, and returns —
+        a later ``resume=True`` invocation picks up the missing cells.
     """
     if not 1 <= shard <= num_shards:
         raise ValueError(f"shard {shard}/{num_shards} out of range")
@@ -697,6 +722,14 @@ def run_shard(
         return result
 
     fn = cell_fn if cell_fn is not None else _default_cell_fn
+    # Checkpoint knobs ride as *extra* positional arguments only when
+    # enabled: custom cell_fn signatures without checkpoint parameters
+    # keep working, and the default path ships byte-identical tuples.
+    ckpt_extra = (
+        (checkpoint_every, str(checkpoint_dir), checkpoint_keep_last)
+        if checkpoint_dir is not None and checkpoint_every
+        else ()
+    )
     tasks = [
         (
             fn,
@@ -717,7 +750,8 @@ def run_shard(
                 c.equivalence,
                 spec.max_block_mb,
                 spec.routing,
-            ),
+            )
+            + ckpt_extra,
             retries,
         )
         for c in pending
@@ -746,6 +780,7 @@ def run_shard(
         fh.flush(fsync=True)
     os.replace(tmp_path, out_path)
     progress.start(resumed=len(retained))
+    drained = False
     fh = JsonlWriter(out_path, compression=codec, append=True)
     try:
         results = iter_tasks(
@@ -762,7 +797,17 @@ def run_shard(
             fh.write_line(_dump(record))
             fh.flush()
             progress.cell_finished(error=(status != "ok"), attempts=attempts)
-        if spec.telemetry:
+            if stop_requested is not None and stop_requested():
+                # Graceful drain: stop consuming at this cell boundary.
+                # Abandoning the iterator cancels queued tasks; rows
+                # already appended stay durable, and the skipped
+                # telemetry trailer marks the artifact non-canonical so
+                # a later resume recomputes exactly the missing cells
+                # (from their snapshots, when checkpointing).
+                drained = True
+                progress.draining()
+                break
+        if spec.telemetry and not drained:
             snaps = [
                 r["telemetry"] for r in records
                 if r["kind"] == CELL_KIND and "telemetry" in r
@@ -773,7 +818,10 @@ def run_shard(
             )
     finally:
         fh.close()
-    progress.finish()
+    if drained:
+        progress.stopped()
+    else:
+        progress.finish()
     return result
 
 

@@ -127,6 +127,17 @@ class ShardStatusWriter:
         """Record the terminal row (state ``complete``)."""
         self._write("complete")
 
+    def draining(self) -> None:
+        """Record that a drain signal arrived: the shard is finishing
+        its in-flight cell(s) and will stop without starting new ones."""
+        self._write("draining")
+
+    def stopped(self) -> None:
+        """Record the terminal row of a drained shard (state
+        ``stopped``): a clean early exit, not a completion — resuming
+        the same artifact later picks up the remaining cells."""
+        self._write("stopped")
+
     def _row(self, state: str) -> dict:
         remaining = max(0, self.cells_total - self.done)
         if state == "complete" or remaining == 0:

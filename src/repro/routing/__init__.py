@@ -20,7 +20,7 @@ from .base import (
     TreeRouting,
     build_router,
 )
-from .hierarchy import distance_levels, hierarchy_descent
+from .hierarchy import distance_levels, hierarchy_descent, nearest_alive_relay
 from .neighbors import NeighborTable, discover
 from .qspt import QSPTRouting, build_overlay_mdp, learn_spt
 from .tree import ClusterTreeRouting
@@ -39,4 +39,5 @@ __all__ = [
     "learn_spt",
     "distance_levels",
     "hierarchy_descent",
+    "nearest_alive_relay",
 ]

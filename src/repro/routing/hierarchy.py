@@ -18,7 +18,28 @@ import numpy as np
 
 from ..simulation.state import NetworkState
 
-__all__ = ["distance_levels", "hierarchy_descent"]
+__all__ = ["distance_levels", "hierarchy_descent", "nearest_alive_relay"]
+
+
+def nearest_alive_relay(
+    state: NetworkState, head: int, relays: np.ndarray
+) -> list[int]:
+    """One-hop uplink through the nearest *alive* relay candidate.
+
+    The TL-LEACH secondary→primary hop: a head that is itself a
+    candidate (or has no alive candidate to reach) uplinks to the BS
+    directly (empty path).  Like the descent above, this lived ad hoc
+    inside the baseline before the substrate existed; the delegation is
+    bit-identical by construction and locked in by the golden traces.
+    """
+    relays = np.asarray(relays, dtype=np.intp)
+    if head in relays or relays.size == 0:
+        return []
+    alive = relays[state.ledger.alive[relays]]
+    if alive.size == 0:
+        return []
+    d = state.distances_from(head, alive)
+    return [int(alive[d.argmin()])]
 
 
 def distance_levels(

@@ -199,6 +199,10 @@ class SimulationEngine:
         self._first_death_round: int | None = None
         self._rounds: list[RoundStats] = []
         self._totals = PacketStats()
+        #: Whether the tracer's "run" span is already open — restored
+        #: snapshots carry it open, and a resumed ``run()`` must not
+        #: begin a second one (span IDs stay deterministic either way).
+        self._run_begun = False
         self.trace = trace
         self.mobility = None
         if config.mobility is not None:
@@ -954,10 +958,47 @@ class SimulationEngine:
             if rss is not None:
                 reg.gauge("prof/rss/mb").observe(rss)
 
-    def run(self) -> SimulationResult:
-        """Execute the full scenario and return the aggregated result."""
+    def run(
+        self,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_dir=None,
+        checkpoint_keep_last: int = 3,
+        checkpoint_tag: str = "run",
+        stop_requested=None,
+    ) -> SimulationResult:
+        """Execute the full scenario and return the aggregated result.
+
+        ``checkpoint_every`` (rounds) turns on crash-safe snapshots:
+        after every Nth completed round the *complete* engine state is
+        written atomically under ``checkpoint_dir`` (rotated to the
+        ``checkpoint_keep_last`` newest).  To resume, restore the
+        engine with :func:`repro.checkpoint.read_checkpoint` and call
+        ``run()`` again — the loop continues from the completed-round
+        cursor and the finished run is bit-identical to one that was
+        never interrupted.  ``None`` (the default) writes nothing and
+        is bit-identical to the historical path.
+
+        ``stop_requested`` is an optional zero-argument callable polled
+        at every round boundary (the graceful-drain hook): when it
+        returns True mid-run, the engine snapshots (if checkpointing)
+        and raises :class:`repro.checkpoint.DrainInterrupted`.
+        """
+        writer = None
+        if checkpoint_every is not None:
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+            from ..checkpoint import CheckpointWriter
+
+            writer = CheckpointWriter(
+                checkpoint_dir,
+                checkpoint_tag,
+                every=checkpoint_every,
+                keep_last=checkpoint_keep_last,
+            )
         trc = self.tracer
-        if trc.enabled:
+        if trc.enabled and not self._run_begun:
+            self._run_begun = True
             trc.begin(
                 "run",
                 cat="run",
@@ -967,10 +1008,24 @@ class SimulationEngine:
                     "rounds": self.config.rounds,
                 },
             )
-        for _ in range(self.config.rounds):
-            self.run_round()
+        while len(self._rounds) < self.config.rounds:
             if self.stop_on_death and self._first_death_round is not None:
                 break
+            self.run_round()
+            if writer is not None:
+                writer.maybe(self)
+            if (
+                stop_requested is not None
+                and len(self._rounds) < self.config.rounds
+                and not (
+                    self.stop_on_death and self._first_death_round is not None
+                )
+                and stop_requested()
+            ):
+                from ..checkpoint import DrainInterrupted
+
+                path = writer.snapshot(self) if writer is not None else None
+                raise DrainInterrupted(path, self.state.round_index)
         # Source backlog that never left its sensor expires with the run.
         while True:
             pending = np.flatnonzero(self.buffers.lengths > 0)
@@ -1030,9 +1085,25 @@ def run_simulation(
     config: SimulationConfig,
     protocol: "ClusteringProtocol",
     stop_on_death: bool = False,
+    checkpoint_every: int | None = None,
+    checkpoint_dir=None,
+    checkpoint_keep_last: int = 3,
+    checkpoint_tag: str = "run",
+    stop_requested=None,
     **engine_kwargs,
 ) -> SimulationResult:
-    """One-call convenience wrapper: build an engine and run it."""
+    """One-call convenience wrapper: build an engine and run it.
+
+    The ``checkpoint_*`` / ``stop_requested`` knobs forward to
+    :meth:`SimulationEngine.run`; everything else goes to the engine
+    constructor.
+    """
     return SimulationEngine(
         config, protocol, stop_on_death=stop_on_death, **engine_kwargs
-    ).run()
+    ).run(
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_keep_last=checkpoint_keep_last,
+        checkpoint_tag=checkpoint_tag,
+        stop_requested=stop_requested,
+    )

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..config import (
     DeploymentConfig,
+    RoutingConfig,
     SimulationConfig,
     TrafficConfig,
     paper_config,
@@ -72,6 +73,55 @@ def _underwater(seed: int) -> Scenario:
     return config, nodes, bs
 
 
+def _underwater_deep(seed: int) -> Scenario:
+    """Deep 300 m water column, surface-buoy sink, cluster-tree uplink.
+
+    The long-multi-hop stress preset: heads near the bottom are several
+    tree hops from the sink, so the routing substrate (not the direct
+    CH→BS link) carries most of the uplink energy.  Baked-in
+    ``routing=tree`` — the substrate choice is part of the scenario,
+    and hashes into the fingerprint like any other config field.
+    """
+    side, n = 300.0, 160
+    config = SimulationConfig(
+        deployment=DeploymentConfig(
+            n_nodes=n, side=side, initial_energy=0.2,
+            bs_position=(side / 2, side / 2, side),
+        ),
+        traffic=TrafficConfig(mean_interarrival=10.0),
+        rounds=48,
+        n_clusters=8,
+        seed=seed,
+        routing=RoutingConfig(kind="tree"),
+    )
+    nodes, bs = underwater_column(
+        n, side, 0.2, rng=np.random.default_rng(30_000 + seed)
+    )
+    return config, nodes, bs
+
+
+def _largearea_corner(seed: int) -> Scenario:
+    """500 m cube with the sink at a ground corner — maximal asymmetry.
+
+    The far-corner nodes sit ~√3·side from the BS, so direct uplinks
+    are brutally expensive and the cluster tree has to earn its keep;
+    this is the large-area complement of the deep water column.
+    """
+    side = 500.0
+    config = SimulationConfig(
+        deployment=DeploymentConfig(
+            n_nodes=150, side=side, initial_energy=0.3,
+            bs_position=(0.0, 0.0, 0.0),
+        ),
+        traffic=TrafficConfig(mean_interarrival=6.0),
+        rounds=30,
+        n_clusters=8,
+        seed=seed,
+        routing=RoutingConfig(kind="tree"),
+    )
+    return config, None, None
+
+
 def _mountain(seed: int) -> Scenario:
     """Sensors on a synthetic massif, summit gateway."""
     side, n = 250.0, 120
@@ -115,12 +165,33 @@ def _chaos(fault_name: str, rounds: int = 16) -> Callable[[int], Scenario]:
     return build
 
 
+def _with_faults(
+    base: Callable[[int], Scenario], fault_name: str
+) -> Callable[[int], Scenario]:
+    """Overlay a named fault plan on any catalog entry — the chaos twin
+    of a preset.  The plan materialises against the preset's *own*
+    config (node count, horizon), so the chaos scales with the
+    scenario instead of assuming the Table-2 shape."""
+
+    def build(seed: int) -> Scenario:
+        config, nodes, bs = base(seed)
+        return (
+            config.replace(faults=build_fault_plan(fault_name, config)),
+            nodes,
+            bs,
+        )
+
+    return build
+
+
 SCENARIOS: dict[str, Callable[[int], Scenario]] = {
     "table2": _table2,
     "table2-literal": _table2_literal,
     "congested": _congested,
     "lifespan": _lifespan,
     "underwater": _underwater,
+    "underwater-deep": _underwater_deep,
+    "largearea-corner": _largearea_corner,
     "mountain": _mountain,
     "heterogeneous": _heterogeneous,
     # Chaos overlays: the same Table-2 network under scheduled faults.
@@ -129,6 +200,10 @@ SCENARIOS: dict[str, Callable[[int], Scenario]] = {
     "chaos-churn": _chaos("churn"),
     "chaos-brownout": _chaos("brownout"),
     "chaos-partition": _chaos("partition"),
+    # Chaos twins of the long-multi-hop presets: scheduled faults while
+    # the cluster tree is load-bearing (repair/fallback under fire).
+    "chaos-underwater-deep": _with_faults(_underwater_deep, "ch-kill-mid"),
+    "chaos-largearea": _with_faults(_largearea_corner, "churn"),
 }
 
 

@@ -44,6 +44,33 @@ class TestCatalog:
         config, _, _ = build_scenario("heterogeneous")
         assert config.deployment.advanced_fraction == 0.2
 
+    def test_underwater_deep_is_multihop(self):
+        config, nodes, bs = build_scenario("underwater-deep", seed=0)
+        assert nodes is not None and bs is not None
+        assert bs.position[2] == config.deployment.side  # surface buoy
+        assert config.routing.kind == "tree"
+
+    def test_largearea_corner_bs(self):
+        config, nodes, bs = build_scenario("largearea-corner", seed=0)
+        assert nodes is None and bs is None  # cube deployment from config
+        assert config.deployment.bs_position == (0.0, 0.0, 0.0)
+        assert config.deployment.side == 500.0
+        assert config.routing.kind == "tree"
+
+    @pytest.mark.parametrize(
+        "name", ["chaos-underwater-deep", "chaos-largearea"]
+    )
+    def test_chaos_twins_scale_plan_to_preset(self, name):
+        base_name = name.replace("chaos-", "", 1)
+        if base_name == "largearea":
+            base_name = "largearea-corner"
+        config, _, _ = build_scenario(name, seed=0)
+        base, _, _ = build_scenario(base_name, seed=0)
+        assert config.faults is not None and base.faults is None
+        # The plan materialised against the preset's own shape.
+        assert config.deployment == base.deployment
+        assert config.rounds == base.rounds
+
     def test_seed_changes_deployment(self):
         _, a, _ = build_scenario("underwater", seed=1)
         _, b, _ = build_scenario("underwater", seed=2)
@@ -56,7 +83,9 @@ class TestCatalog:
         result = SimulationEngine(config, QLECProtocol()).run()
         result.validate()
 
-    @pytest.mark.parametrize("name", ["underwater", "mountain"])
+    @pytest.mark.parametrize(
+        "name", ["underwater", "mountain", "underwater-deep"]
+    )
     def test_prebuilt_scenarios_run(self, name):
         config, nodes, bs = build_scenario(name, seed=0)
         config = config.replace(rounds=2)
@@ -64,3 +93,10 @@ class TestCatalog:
             config, QLECProtocol(), nodes=nodes, bs=bs
         ).run()
         result.validate()
+
+    def test_largearea_corner_runs_with_tree_routing(self):
+        config, nodes, bs = build_scenario("largearea-corner", seed=0)
+        config = config.replace(rounds=2)
+        result = SimulationEngine(config, QLECProtocol()).run()
+        result.validate()
+        assert result.extras["routing"]["kind"] == "tree"

@@ -402,3 +402,60 @@ class TestStatusUnderScheduler:
         assert "1/2" in stdout and "2/2" in stdout
         assert "steals" in stdout and "reclaimed" in stdout
         assert "fleet: 8/8 cells done, 0 failed (complete)" in stdout
+
+
+class TestCheckpointCommands:
+    def test_checkpoint_flags_parse(self):
+        args = build_parser().parse_args(
+            ["scenario", "table2", "--checkpoint-every", "5",
+             "--checkpoint-dir", "ck", "--keep-last", "2"]
+        )
+        assert args.checkpoint_every == 5
+        assert args.checkpoint_dir == "ck"
+        assert args.keep_last == 2
+        args = build_parser().parse_args(["sweep"])
+        assert args.checkpoint_every is None  # default off
+
+    def test_scenario_checkpoints_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "ck"
+        assert main(
+            ["scenario", "table2", "--protocol", "direct", "--seed", "1",
+             "--checkpoint-every", "2", "--checkpoint-dir", str(ckpt)]
+        ) == 0
+        capsys.readouterr()
+        from repro.checkpoint import snapshot_paths
+
+        snaps = snapshot_paths(ckpt, "direct-table2-s1")
+        assert snaps
+        # Finish the run again from a mid-run snapshot via the CLI.
+        assert main(["resume", str(snaps[0])]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from round" in out
+        assert "resumed run" in out
+
+    def test_resume_refuses_corrupt_snapshot_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad-r00000001.ckpt"
+        bad.write_bytes(b'{"kind": "engine-checkpoint"}\njunk')
+        assert main(["resume", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_with_checkpointing_matches_plain(self, tmp_path, capsys):
+        grid = ["--protocols", "direct", "--lambdas", "4", "--seeds", "0",
+                "--rounds", "2", "--serial"]
+        assert main(
+            ["sweep", *grid, "--out", str(tmp_path / "a.jsonl")]
+        ) == 0
+        assert main(
+            ["sweep", *grid, "--out", str(tmp_path / "b.jsonl"),
+             "--checkpoint-every", "1",
+             "--checkpoint-dir", str(tmp_path / "ck")]
+        ) == 0
+        capsys.readouterr()
+        from repro.parallel import load_artifact
+
+        rows = lambda p: [
+            r["summary"] for r in load_artifact(p).records
+            if r.get("kind") == "cell"
+        ]
+        assert rows(tmp_path / "a.jsonl") == rows(tmp_path / "b.jsonl")
+        assert list((tmp_path / "ck").glob("*.ckpt"))
